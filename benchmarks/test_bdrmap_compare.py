@@ -1,0 +1,72 @@
+"""Benchmark: §8 -- the bdrmap baseline and its cloud-setting pathologies."""
+
+from repro.analysis import paper_values as paper
+from repro.bdrmap import compare
+from conftest import show
+
+
+def test_bdrmap_comparison(benchmark, bench_study, bench_bdrmap):
+    runner, result = bench_study
+    cmp = benchmark.pedantic(
+        compare,
+        args=(bench_bdrmap, result, runner.relationships),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "8: bdrmap vs. our methodology",
+        [
+            f"{'':>8} {'ABIs':>7} {'CBIs':>7} {'ASes':>6}",
+            f"{'bdrmap':>8} {cmp.bdrmap_abis:>7} {cmp.bdrmap_cbis:>7} {cmp.bdrmap_ases:>6}"
+            f"   (paper {paper.BDRMAP_ABIS}/{paper.BDRMAP_CBIS}/{paper.BDRMAP_ASES})",
+            f"{'ours':>8} {cmp.ours_abis:>7} {cmp.ours_cbis:>7} {cmp.ours_ases:>6}"
+            f"   (paper {paper.FINAL_ABIS}/{paper.FINAL_CBIS}/{paper.FINAL_PEER_ASES})",
+            f"{'common':>8} {cmp.common_abis:>7} {cmp.common_cbis:>7} {cmp.common_ases:>6}"
+            f"   (paper {paper.BDRMAP_COMMON_ABIS}/{paper.BDRMAP_COMMON_CBIS}/{paper.BDRMAP_COMMON_ASES})",
+        ],
+    )
+    # §8 headline: bdrmap sees far fewer CBIs (no expansion, no WHOIS
+    # space) and misses a large share of the peer ASes.
+    assert cmp.bdrmap_cbis < cmp.ours_cbis
+    assert cmp.bdrmap_ases < cmp.ours_ases
+    assert cmp.common_cbis > 0
+    assert cmp.common_ases > 0
+
+
+def test_bdrmap_inconsistencies(benchmark, bench_study, bench_bdrmap):
+    """The three §8 pathologies of per-region bdrmap runs."""
+    runner, result = bench_study
+
+    def stats():
+        return (
+            len(bench_bdrmap.as0_cbis()),
+            len(bench_bdrmap.conflicting_owner_cbis()),
+            len(bench_bdrmap.flip_interfaces()),
+        )
+
+    as0, conflicts, flips = benchmark(stats)
+    home_announced = {
+        ip
+        for ip in bench_bdrmap.flip_interfaces()
+        if runner.annotator_r2.is_home(runner.annotator_r2.annotate(ip))
+    }
+    flip_home = len(home_announced) / flips if flips else 0.0
+    show(
+        "8: bdrmap inconsistencies",
+        [
+            f"AS0-owner CBIs: {as0} (paper {paper.BDRMAP_AS0_CBIS})",
+            f"cross-region owner conflicts: {conflicts} (paper >{paper.BDRMAP_CONFLICTING_CBIS})",
+            f"ABI/CBI flips: {flips} (paper {paper.BDRMAP_FLIP_INTERFACES}, "
+            f"{paper.BDRMAP_FLIP_HOME_FRACTION*100:.0f}% Amazon-announced)",
+            f"flips on Amazon-announced space here: {flip_home*100:.0f}%",
+        ],
+    )
+    # All three §8 inconsistency classes occur.
+    assert as0 > 0
+    assert flips >= 0
+    # Unowned interfaces are the WHOIS-only space bdrmap cannot map.
+    assert as0 < cmp_total_cbis(bench_bdrmap)
+
+
+def cmp_total_cbis(bdr) -> int:
+    return max(len(bdr.all_cbis()), 1)

@@ -1,0 +1,65 @@
+"""Benchmark: Figures 4a/4b -- min-RTT distributions and their 2 ms knees."""
+
+from repro.analysis import figures, paper_values as paper
+from conftest import show
+
+
+def test_fig4a_abi_min_rtt(benchmark, bench_study):
+    """Fig. 4a: CDF of min-RTT from the closest region to each ABI.
+
+    Paper: a clear knee at 2 ms with ~40% of ABIs below it (those at
+    native colos in region metros)."""
+    _runner, result = bench_study
+    series = benchmark(figures.fig4a_series, result)
+    under = figures.fraction_below(series, paper.FIG4A_KNEE_MS)
+    under10 = figures.fraction_below(series, 10.0)
+
+    show(
+        "Fig 4a: min-RTT to ABIs",
+        [
+            f"ABIs measured: {len(series)}",
+            f"under 2 ms: {under*100:.0f}% (paper ~{paper.FIG4A_FRACTION_UNDER_KNEE*100:.0f}%)",
+            f"under 10 ms: {under10*100:.0f}%",
+            f"max: {max(series):.1f} ms (paper tail reaches ~25 ms)",
+        ],
+    )
+    assert series
+    # The knee exists: a sizable cluster below 2 ms, but far from all.
+    assert 0.2 < under < 0.75
+    # The distribution has a long tail past the knee.
+    assert max(series) > 5.0
+    # And it is bimodal-ish: the mass right above the knee is thinner
+    # than the mass below it (the native-colo cluster).
+    between = figures.fraction_below(series, 4.0) - under
+    assert between < under
+
+
+def test_fig4b_segment_rtt_diff(benchmark, bench_study):
+    """Fig. 4b: CDF of min-RTT difference between segment ends.
+
+    Paper: knee at 2 ms, with about half the segments below it (both
+    ends in one metro) -- this threshold drives co-presence Rule 2."""
+    _runner, result = bench_study
+    series = benchmark(figures.fig4b_series, result)
+    under = figures.fraction_below(series, paper.FIG4B_KNEE_MS)
+
+    show(
+        "Fig 4b: segment RTT differences",
+        [
+            f"segments measured: {len(series)}",
+            f"under 2 ms: {under*100:.0f}% (paper ~{paper.FIG4B_FRACTION_UNDER_KNEE*100:.0f}%)",
+            f"max: {max(series):.1f} ms (paper tail ~40 ms)",
+        ],
+    )
+    assert series
+    assert 0.25 < under < 0.75
+    assert max(series) > 5.0
+
+
+def test_fig4_cdf_wellformed(bench_study):
+    _runner, result = bench_study
+    for series in (figures.fig4a_series(result), figures.fig4b_series(result)):
+        points = figures.cdf_points(series)
+        fracs = [f for _v, f in points]
+        assert fracs == sorted(fracs)
+        assert abs(points[-1][1] - 1.0) < 1e-9

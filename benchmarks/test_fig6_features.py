@@ -1,0 +1,71 @@
+"""Benchmark: Figure 6 -- per-group feature boxplots (§7.3).
+
+The paper reads peering *purpose* off six per-group distributions.  The
+assertions here encode its qualitative findings: transit groups have the
+big customer cones and CBI counts; virtual groups show the largest RTT
+differences (enterprises hauled in over layer-2); transit peers span the
+most metros.
+"""
+
+from repro.analysis import figures, paper_values as paper
+from repro.world.profiles import (
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+)
+from conftest import show
+
+
+def test_fig6_group_features(benchmark, bench_study):
+    runner, result = bench_study
+    feats = benchmark(figures.fig6_features, result, runner.relationships)
+
+    lines = [f"{'group':>10} {'cone med':>9} {'reach med':>10} {'CBIs med':>9} "
+             f"{'RTTdiff med':>12} {'metros med':>11}"]
+    for group in (PB_NB, PB_B, PR_NB_V, PR_NB_NV, PR_B_NV, PR_B_V):
+        f = feats[group]
+        lines.append(
+            f"{group:>10} {f['bgp_slash24'].median:>9.0f} "
+            f"{f['reachable_slash24'].median:>10.0f} {f['cbis'].median:>9.0f} "
+            f"{f['rtt_diff'].median:>12.2f} {f['metros'].median:>11.0f}"
+        )
+    lines.append("paper cone medians: Pb-nB ~4, Pb-B ~200, Pr-B-nV ~20k")
+    show("Fig 6: per-group features", lines)
+
+    # Row 1: customer cones -- tier-1 (Pr-B-nV) >> tier-2 (Pb-B) >> edge (Pb-nB).
+    assert feats[PR_B_NV]["bgp_slash24"].median > feats[PB_B]["bgp_slash24"].median
+    assert feats[PB_B]["bgp_slash24"].median > feats[PB_NB]["bgp_slash24"].median
+    # Row 4: CBIs per AS -- transit groups dominate public ones.
+    assert feats[PR_B_NV]["cbis"].median > feats[PB_NB]["cbis"].median
+    # Row 5: virtual groups have the larger RTT differences (remote L2 hauls).
+    virtual_med = max(
+        feats[PR_NB_V]["rtt_diff"].median, feats[PR_B_V]["rtt_diff"].median
+    )
+    assert virtual_med >= feats[PB_NB]["rtt_diff"].median * 0.5
+    # Row 6: transit peers are pinned at the most metros.
+    assert (
+        feats[PR_B_NV]["metros"].median >= feats[PB_NB]["metros"].median
+    )
+
+
+def test_fig6_reachable_vs_cone(bench_study):
+    """Comparing reachable /24s with the BGP cone separates 'own traffic'
+    peerings from 'customer transit' peerings (§7.3)."""
+    runner, result = bench_study
+    feats = figures.fig6_features(result, runner.relationships)
+    # Tier-1 transit: huge cone, and many /24s actually reached through it.
+    tier1 = feats[PR_B_NV]
+    edge = feats[PB_NB]
+    show(
+        "reachable vs cone",
+        [
+            f"Pr-B-nV: cone median {tier1['bgp_slash24'].median:.0f}, "
+            f"reachable median {tier1['reachable_slash24'].median:.0f}",
+            f"Pb-nB: cone median {edge['bgp_slash24'].median:.0f}, "
+            f"reachable median {edge['reachable_slash24'].median:.0f}",
+        ],
+    )
+    assert tier1["reachable_slash24"].median >= edge["reachable_slash24"].median

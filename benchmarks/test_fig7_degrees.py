@@ -1,0 +1,78 @@
+"""Benchmark: Figures 7a/7b and §7.4 -- the interface connectivity graph."""
+
+from repro.analysis import figures, paper_values as paper
+from conftest import show
+
+
+def test_fig7a_abi_degrees(benchmark, bench_study):
+    """Fig. 7a: skewed ABI degrees (paper: 30% degree 1, 95% < 100)."""
+    _runner, result = bench_study
+    series = benchmark(figures.fig7a_series, result)
+    degrees = result.icg.abi_degrees
+    deg1 = figures.degree_fraction_at_most(degrees, 1)
+    under100 = figures.degree_fraction_at_most(degrees, 99)
+
+    show(
+        "Fig 7a: ABI degrees",
+        [
+            f"ABIs: {len(degrees)}",
+            f"degree<=1: {deg1*100:.0f}% (paper {paper.FIG7A_ABI_DEG1_FRACTION*100:.0f}%)",
+            f"degree<100: {under100*100:.0f}% (paper {paper.FIG7A_ABI_UNDER100_FRACTION*100:.0f}%)",
+            f"max degree: {max(degrees)} (paper ~1000 at full scale)",
+        ],
+    )
+    assert series
+    assert 0.1 < deg1 < 0.6
+    assert under100 > 0.9
+    assert max(degrees) > 10  # hubs exist
+
+
+def test_fig7b_cbi_degrees(benchmark, bench_study):
+    """Fig. 7b: 50% of CBIs see one ABI; 90% see at most eight."""
+    _runner, result = bench_study
+    series = benchmark(figures.fig7b_series, result)
+    degrees = result.icg.cbi_degrees
+    deg1 = figures.degree_fraction_at_most(degrees, 1)
+    under8 = figures.degree_fraction_at_most(degrees, 8)
+
+    show(
+        "Fig 7b: CBI degrees",
+        [
+            f"CBIs: {len(degrees)}",
+            f"degree<=1: {deg1*100:.0f}% (paper {paper.FIG7B_CBI_DEG1_FRACTION*100:.0f}%)",
+            f"degree<=8: {under8*100:.0f}% (paper {paper.FIG7B_CBI_UNDER8_FRACTION*100:.0f}%)",
+            f"max degree: {max(degrees)} (paper ~40)",
+        ],
+    )
+    assert series
+    assert 0.3 < deg1 < 0.75
+    assert under8 > 0.8
+    assert max(degrees) >= 4
+
+
+def test_icg_connectivity(benchmark, bench_study):
+    """§7.4: one giant component, overwhelmingly intra-region edges."""
+    _runner, result = bench_study
+
+    def summary_stats():
+        s = result.icg
+        return s.largest_component_fraction, s.intra_region_fraction, s.both_pinned_edges
+
+    largest, intra, both = benchmark(summary_stats)
+    show(
+        "7.4: ICG connectivity",
+        [
+            f"largest component: {largest*100:.1f}% of nodes "
+            f"(paper {paper.ICG_LARGEST_COMPONENT_FRACTION*100:.1f}%)",
+            f"both-end-pinned edges: {both} "
+            f"({both/max(result.icg.edge_count,1)*100:.0f}% of edges; paper 57.9%)",
+            f"intra-region share of those: {intra*100:.1f}% "
+            f"(paper {paper.ICG_INTRA_REGION_FRACTION*100:.0f}%)",
+            f"remote examples: {result.icg.remote_examples[:5]}",
+        ],
+    )
+    # One dominant component far larger than a random scatter.
+    assert largest > 0.3
+    # Most pinned peerings sit inside one region; remote ones exist.
+    assert intra > 0.7
+    assert result.icg.remote_examples  # intercontinental remote peerings

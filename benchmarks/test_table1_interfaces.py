@@ -1,0 +1,77 @@
+"""Benchmark: Table 1 -- interface censuses before/after expansion (§3-§4).
+
+Regenerates the four rows (ABI/CBI/eABI/eCBI) with their BGP/WHOIS/IXP
+source mix and checks the paper's shape: ABIs are mostly WHOIS-only
+Amazon space, CBIs split across all three sources, and expansion probing
+collapses the CBI WHOIS share (24.8% -> 2.3% in the paper) while growing
+the CBI count.
+"""
+
+from repro.analysis import paper_values as paper, tables
+from conftest import show
+
+
+def test_table1_interface_census(benchmark, bench_study):
+    _runner, result = bench_study
+    rows = benchmark(tables.table1, result)
+    by_label = {r.label: r for r in rows}
+
+    lines = [f"{'':>6} {'measured':>22} {'paper':>22}"]
+    for label in ("ABI", "CBI", "eABI", "eCBI"):
+        row = by_label[label]
+        p_count, p_bgp, p_whois, p_ixp = paper.TABLE1[label]
+        lines.append(
+            f"{label:>6} {row.total:>6} "
+            f"{row.bgp_pct:5.1f}/{row.whois_pct:5.1f}/{row.ixp_pct:5.1f}%"
+            f"  {p_count:>7} {p_bgp*100:5.1f}/{p_whois*100:5.1f}/{p_ixp*100:5.1f}%"
+        )
+    show("Table 1: interfaces and annotation sources", lines)
+
+    # Shape assertions (scale-free).
+    assert by_label["eCBI"].total >= by_label["CBI"].total          # expansion grows CBIs
+    assert by_label["eABI"].total >= by_label["ABI"].total * 0.9    # ABIs ~constant
+    assert by_label["eABI"].whois_pct > 40                          # ABIs mostly WHOIS
+    assert by_label["ABI"].ixp_pct == 0                             # no IXP ABIs
+    assert by_label["CBI"].whois_pct > by_label["eCBI"].whois_pct   # WHOIS collapse
+    assert by_label["eCBI"].whois_pct < 15
+    assert by_label["eCBI"].bgp_pct > 55
+    assert 5 < by_label["eCBI"].ixp_pct < 40                        # IXP share present
+
+
+def test_campaign_yield(benchmark, bench_study):
+    """§3: completion is rare, but most probes leave Amazon."""
+    _runner, result = bench_study
+
+    def series():
+        return (
+            result.round1_stats.completed_fraction,
+            result.round1_stats.left_cloud_fraction,
+        )
+
+    completed, left = benchmark(series)
+    show(
+        "round-1 campaign yield",
+        [
+            f"completed: {completed*100:.1f}% (paper {paper.COMPLETED_FRACTION*100:.1f}%)",
+            f"left Amazon: {left*100:.1f}% (paper {paper.LEFT_AMAZON_FRACTION*100:.0f}%)",
+        ],
+    )
+    assert completed < 0.25
+    assert 0.55 < left < 0.95
+
+
+def test_expansion_ablation_d1(bench_study):
+    """D1: expansion probing must add CBIs the sweep alone cannot see
+    (paper: 21.73k -> 24.75k)."""
+    _runner, result = bench_study
+    by_label = {r.label: r for r in result.table1}
+    gained = by_label["eCBI"].total - by_label["CBI"].total
+    show(
+        "D1 ablation: expansion probing",
+        [
+            f"round-1 CBIs: {by_label['CBI'].total}",
+            f"after expansion: {by_label['eCBI'].total} (+{gained})",
+            "paper: 21,730 -> 24,750 (+3,020, +14%)",
+        ],
+    )
+    assert gained > 0

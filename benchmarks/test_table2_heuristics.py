@@ -1,0 +1,74 @@
+"""Benchmark: Table 2 -- heuristic confirmation of candidate ABIs (§5.1).
+
+Checks the paper's ordering of individual heuristic power
+(IXP < hybrid < reachable), the cumulative growth, and the headline:
+the heuristics collectively confirm the vast majority of candidate ABIs.
+"""
+
+from repro.analysis import paper_values as paper, tables
+from conftest import show
+
+
+def test_table2_heuristic_confirmation(benchmark, bench_study):
+    _runner, result = bench_study
+    rows = benchmark(tables.table2, result)
+    by_name = {r.heuristic: r for r in rows}
+
+    lines = [f"{'heuristic':>10} {'indiv ABIs (CBIs)':>20} {'cumul ABIs (CBIs)':>20} {'paper indiv/cumul ABIs':>24}"]
+    for name in ("ixp", "hybrid", "reachable"):
+        row = by_name[name]
+        p_ind, _pc, p_cum, _pcc = paper.TABLE2[name]
+        lines.append(
+            f"{name:>10} {row.individual_abis:>9} ({row.individual_cbis:>6}) "
+            f"{row.cumulative_abis:>9} ({row.cumulative_cbis:>6}) "
+            f"{p_ind:>11} / {p_cum}"
+        )
+    total = len(result.heuristics.confirmed_abis) + len(
+        result.heuristics.unconfirmed_abis
+    )
+    frac = len(result.heuristics.confirmed_abis) / total
+    lines.append(
+        f"confirmed: {frac*100:.1f}% of candidate ABIs "
+        f"(paper {paper.HEURISTIC_CONFIRMED_ABI_FRACTION*100:.1f}%)"
+    )
+    show("Table 2: heuristic confirmation", lines)
+
+    # Shape: same power ordering as the paper's individual counts.
+    assert by_name["ixp"].individual_abis < by_name["hybrid"].individual_abis
+    assert by_name["hybrid"].individual_abis < by_name["reachable"].individual_abis
+    # Cumulative counts are monotone and end at the confirmed set.
+    cums = [by_name[n].cumulative_abis for n in ("ixp", "hybrid", "reachable")]
+    assert cums == sorted(cums)
+    assert cums[-1] == len(result.heuristics.confirmed_abis)
+    # Headline: a large majority confirmed.
+    assert frac > 0.65
+
+
+def test_alias_verification_section52(benchmark, bench_study):
+    """§5.2: majority-owner alias sets and the (few) relabelled segments."""
+    _runner, result = bench_study
+
+    def stats():
+        o = result.verification.ownership
+        return (
+            o.set_count,
+            o.majority_over_half / o.set_count if o.set_count else 0,
+            o.unanimous / o.set_count if o.set_count else 0,
+            result.verification.total_changes,
+        )
+
+    sets, majority, unanimous, changes = benchmark(stats)
+    show(
+        "5.2: alias-set ownership",
+        [
+            f"alias sets: {sets} (paper 2,640 full-scale)",
+            f">50% majority: {majority*100:.0f}% (paper {paper.ALIAS_MAJORITY_OVER_HALF*100:.0f}%)",
+            f"unanimous: {unanimous*100:.0f}% (paper {paper.ALIAS_UNANIMOUS*100:.0f}%)",
+            f"relabelled interfaces: {changes} (paper {paper.CHANGES_ABI_TO_CBI + paper.CHANGES_CBI_TO_ABI + paper.CHANGES_CBI_TO_CBI})",
+        ],
+    )
+    assert sets > 0
+    assert majority > 0.85
+    assert unanimous > 0.6
+    # Relabels are a small fraction of all interfaces, as in the paper.
+    assert changes < len(result.cbis) * 0.12

@@ -1,0 +1,88 @@
+"""Benchmark: Table 3 -- anchors and iterative pinning (§6.1).
+
+Regenerates the anchor census by evidence type, the co-presence-rule
+pins, the metro coverage, and the regional fallback, and runs the D2
+(anchor consistency) ablation.
+"""
+
+from repro.analysis import paper_values as paper, tables
+from repro.core.pinning import IterativePinner
+from conftest import show
+
+
+def test_table3_anchor_census(benchmark, bench_study):
+    _runner, result = bench_study
+    rows = benchmark(tables.table3, result)
+
+    lines = [f"{'evidence':>8} {'exclusive':>10} {'cumulative':>11} {'paper excl/cumul':>18}"]
+    for row in rows:
+        lines.append(
+            f"{row.evidence:>8} {row.exclusive:>10} {row.cumulative:>11} "
+            f"{paper.TABLE3_EXCLUSIVE[row.evidence]:>9}/{paper.TABLE3_CUMULATIVE[row.evidence]}"
+        )
+    lines.append(
+        f"metro coverage: {result.metro_pin_coverage*100:.1f}% "
+        f"(paper {paper.METRO_PIN_COVERAGE*100:.1f}%); total with regional "
+        f"{result.total_pin_coverage*100:.1f}% (paper {paper.TOTAL_PIN_COVERAGE*100:.1f}%)"
+    )
+    lines.append(f"pinning rounds: {result.pinning.rounds} (paper {paper.PINNING_ROUNDS})")
+    show("Table 3: anchors and pinned interfaces", lines)
+
+    # Every evidence class contributes.
+    by_name = {r.evidence: r for r in rows}
+    for name in ("dns", "ixp", "metro", "native"):
+        assert by_name[name].exclusive > 0, f"no {name} anchors"
+    # Cumulative column is monotone; propagation adds on top of anchors.
+    cums = [r.cumulative for r in rows]
+    assert cums == sorted(cums)
+    assert by_name["alias"].exclusive + by_name["min-rtt"].exclusive > 0
+    # Coverage brackets the paper's story: roughly half-to-most at metro
+    # level, more after the regional fallback.
+    assert 0.35 < result.metro_pin_coverage <= 1.0
+    assert result.total_pin_coverage >= result.metro_pin_coverage
+    assert result.pinning.rounds <= 8
+
+
+def test_d2_ablation_anchor_consistency(bench_study):
+    """D2: re-adding the flagged inconsistent anchors must not *improve*
+    agreement -- the paper excludes them precisely to protect precision."""
+    _runner, result = bench_study
+    anchors = result.anchors
+    flagged = len(anchors.flagged_multi_evidence) + len(anchors.flagged_alias)
+
+    base = IterativePinner(
+        anchors.anchors,
+        result.alias_sets,
+        result.final_segments,
+        result.segment_rtt_diff,
+    ).run()
+    base_cov = base.coverage(result.abis | result.cbis)
+
+    show(
+        "D2 ablation: anchor consistency filter",
+        [
+            f"anchors kept: {len(anchors.anchors)}; flagged & dropped: {flagged}",
+            f"metro coverage with conservative anchors: {base_cov*100:.1f}%",
+            "paper: 66 anchors flagged and excluded",
+        ],
+    )
+    assert flagged >= 0
+    assert base_cov > 0.3
+
+
+def test_single_region_interfaces(bench_study):
+    """§6.1: some interfaces are only reachable from one region."""
+    runner, result = bench_study
+    single = [
+        r for r in result.pinning.regional.values() if r.reason == "single_region"
+    ]
+    show(
+        "regional fallback",
+        [
+            f"single-region interfaces: {len(single)} "
+            f"(paper {paper.SINGLE_REGION_INTERFACES} = 4.5% of unpinned)",
+            f"rtt-ratio assignments: "
+            f"{sum(1 for r in result.pinning.regional.values() if r.reason == 'rtt_ratio')}",
+        ],
+    )
+    assert len(result.pinning.regional) > 0

@@ -1,0 +1,58 @@
+"""Benchmark: Table 4 -- VPIs visible from other clouds (§7.1).
+
+Checks the paper's ordering (Microsoft >> Google > IBM > Oracle = 0),
+the ~20% cumulative share of Amazon's CBIs, and the lower-bound property
+against ground truth.
+"""
+
+from repro.analysis import paper_values as paper, tables
+from repro.core.evaluation import evaluate_study
+from conftest import show
+
+
+def test_table4_vpi_overlaps(benchmark, bench_study):
+    _runner, result = bench_study
+    rows = benchmark(tables.table4, result)
+    by_cloud = {r.cloud: r for r in rows}
+
+    lines = [f"{'cloud':>10} {'pairwise':>14} {'cumulative':>14} {'paper pair/cumul':>18}"]
+    for row in rows:
+        p_pair = paper.TABLE4_PAIRWISE[row.cloud][1] * 100
+        p_cum = paper.TABLE4_CUMULATIVE[row.cloud][1] * 100
+        lines.append(
+            f"{row.cloud:>10} {row.pairwise:>6} ({row.pairwise_pct:5.2f}%) "
+            f"{row.cumulative:>6} ({row.cumulative_pct:5.2f}%) "
+            f"{p_pair:>8.2f}/{p_cum:.2f}%"
+        )
+    show("Table 4: multi-cloud VPI overlaps", lines)
+
+    # Ordering: Microsoft dominates; Oracle is empty.
+    assert by_cloud["microsoft"].pairwise > by_cloud["google"].pairwise
+    assert by_cloud["google"].pairwise >= by_cloud["ibm"].pairwise
+    assert by_cloud["oracle"].pairwise == 0
+    # Cumulative share in the paper's ballpark (~20% of CBIs).
+    assert 5 < by_cloud["oracle"].cumulative_pct < 35
+    # Cumulative column monotone.
+    cums = [by_cloud[c].cumulative for c in ("microsoft", "google", "ibm", "oracle")]
+    assert cums == sorted(cums)
+
+
+def test_vpi_lower_bound_against_ground_truth(bench_study):
+    """The method never overcounts VPIs and visibly undercounts them --
+    the paper's central caveat, made checkable by the simulator."""
+    runner, result = bench_study
+    ev = evaluate_study(runner.world, result)
+    show(
+        "VPI lower bound vs. ground truth",
+        [
+            f"true VPI ports: {ev.vpi.true_vpi_cbis}",
+            f"detectable (multi-cloud shared): {ev.vpi.detectable_vpi_cbis}",
+            f"detected: {ev.vpi.detected} (true positives {ev.vpi.detected_true})",
+            f"precision: {ev.vpi.precision*100:.1f}%",
+            f"recall of detectable: {ev.vpi.recall_of_detectable*100:.0f}%",
+            f"lower-bound tightness: {ev.vpi.lower_bound_tightness*100:.0f}%",
+        ],
+    )
+    assert ev.vpi.precision > 0.9
+    assert ev.vpi.detected_true <= ev.vpi.true_vpi_cbis
+    assert ev.vpi.lower_bound_tightness < 1.0  # genuinely a lower bound

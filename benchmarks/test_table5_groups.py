@@ -1,0 +1,86 @@
+"""Benchmark: Table 5 -- the six peering groups (§7.2) and hidden share."""
+
+from repro.analysis import paper_values as paper, tables
+from repro.world.profiles import PB_NB, PR_B_NV, PR_NB_NV
+from conftest import show
+
+
+def test_table5_group_breakdown(benchmark, bench_study):
+    _runner, result = bench_study
+    rows = benchmark(tables.table5, result)
+    by_group = {r.group: r for r in rows}
+
+    lines = [f"{'group':>10} {'ASes':>12} {'CBIs':>13} {'ABIs':>13}   paper AS/CBI/ABI %"]
+    for row in rows:
+        p = paper.TABLE5[row.group]
+        lines.append(
+            f"{row.group:>10} {row.ases:>5} ({row.ases_pct:4.1f}%) "
+            f"{row.cbis:>5} ({row.cbis_pct:4.1f}%) "
+            f"{row.abis:>5} ({row.abis_pct:4.1f}%)   "
+            f"{p[0]*100:.0f}/{p[1]*100:.0f}/{p[2]*100:.0f}"
+        )
+    show("Table 5: peering groups", lines)
+
+    # The three headline shapes of §7.2:
+    # (i) most peer ASes use public peering...
+    assert by_group[PB_NB].ases_pct > 50
+    # (ii) ...but Pr-nB-nV owns the largest CBI share,
+    cbi_shares = {g: by_group[g].cbis_pct for g in by_group}
+    assert max(cbi_shares, key=cbi_shares.get) == PR_NB_NV
+    # (iii) and Pr-nB-nV also dominates the ABI side (paper: 69%).
+    abi_shares = {g: by_group[g].abis_pct for g in by_group}
+    assert max(abi_shares, key=abi_shares.get) == PR_NB_NV
+    # Tier-1 private-BGP peers are few ASes with many CBIs.
+    prbnv = by_group[PR_B_NV]
+    if prbnv.ases:
+        assert prbnv.cbis / prbnv.ases > by_group[PB_NB].cbis / max(by_group[PB_NB].ases, 1)
+
+
+def test_table5_aggregates(benchmark, bench_study):
+    _runner, result = bench_study
+    agg = benchmark(tables.table5_aggregates, result)
+    total_ases = len(result.grouping.all_ases())
+    lines = []
+    for label, (a, c, b) in agg.items():
+        lines.append(f"{label:>6}: {a} ASes ({a/total_ases*100:.0f}%), {c} CBIs, {b} ABIs")
+    lines.append("paper: Pb 76% of ASes, Pr-nB 33%, Pr-B 3%")
+    show("Table 5 aggregates", lines)
+
+    assert agg["Pb"][0] > agg["Pr-nB"][0] > agg["Pr-B"][0]
+
+
+def test_hidden_peering_share(benchmark, bench_study):
+    """§7.2: about a third of Amazon's peers interconnect invisibly."""
+    _runner, result = bench_study
+    frac = benchmark(result.grouping.hidden_fraction)
+    show(
+        "hidden peerings",
+        [f"{frac*100:.1f}% of peer ASes (paper {paper.HIDDEN_PEERING_FRACTION*100:.1f}%)"],
+    )
+    assert 0.2 < frac < 0.55
+
+
+def test_bgp_coverage(benchmark, bench_study):
+    """§7.3: our method recovers ~all BGP-reported peers and finds an
+    order of magnitude more that BGP never shows."""
+    _runner, result = bench_study
+
+    def stats():
+        return (
+            len(result.bgp_visible_peers),
+            len(result.recovered_bgp_peers),
+            len(result.grouping.all_ases()),
+        )
+
+    reported, recovered, total = benchmark(stats)
+    show(
+        "BGP coverage",
+        [
+            f"BGP-reported Amazon peers: {reported} (paper {paper.BGP_REPORTED_PEERINGS})",
+            f"recovered by our method: {recovered} "
+            f"({recovered/max(reported,1)*100:.0f}%; paper {paper.BGP_RECOVERY_FRACTION*100:.0f}%)",
+            f"total inferred peers: {total} (paper 3,300 unique peerings)",
+        ],
+    )
+    assert recovered / max(reported, 1) > 0.8
+    assert total > reported * 5

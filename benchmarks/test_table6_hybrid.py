@@ -1,0 +1,44 @@
+"""Benchmark: Table 6 -- hybrid peering profiles (§7.2)."""
+
+from repro.analysis import paper_values as paper, tables
+from repro.world.profiles import PB_NB, PR_NB_NV
+from conftest import show
+
+
+def test_table6_hybrid_census(benchmark, bench_study):
+    _runner, result = bench_study
+    census = benchmark(tables.table6, result)
+
+    lines = [f"{'profile':<46} {'ASes':>6}"]
+    for profile, count in census[:12]:
+        lines.append(f"{'; '.join(sorted(profile)):<46} {count:>6}")
+    lines.append("paper top-5: Pb-nB 2187; Pr-nB-nV 686; Pr-nB-nV+Pb-nB 207; "
+                 "Pb-B 117; Pr-nB-nV+Pr-nB-V 83")
+    show("Table 6: hybrid peering profiles", lines)
+
+    # The two dominant pure profiles match the paper's ranking.
+    ranked = [profile for profile, _c in census]
+    assert ranked[0] == frozenset({PB_NB})
+    assert frozenset({PR_NB_NV}) in ranked[:4]
+    # Hybrid (multi-type) profiles exist.
+    assert any(len(profile) >= 2 for profile in ranked)
+    # Census is a partition of the peer ASes.
+    assert sum(c for _p, c in census) == len(result.grouping.profiles)
+
+
+def test_common_hybrid_combination(bench_study):
+    """The paper's most common hybrid: Pr-nB-nV together with Pb-nB."""
+    _runner, result = bench_study
+    census = dict(tables.table6(result))
+    combo = census.get(frozenset({PR_NB_NV, PB_NB}), 0)
+    hybrids = {p: c for p, c in census.items() if len(p) >= 2}
+    show(
+        "hybrid combinations",
+        [
+            f"Pr-nB-nV + Pb-nB ASes: {combo} (paper 207)",
+            f"total hybrid ASes: {sum(hybrids.values())}",
+        ],
+    )
+    if hybrids:
+        top_hybrid = max(hybrids, key=hybrids.get)
+        assert PR_NB_NV in top_hybrid or PB_NB in top_hybrid

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""VPI detection walk-through (§7.1): how cloud traffic goes hiding.
+
+Virtual private interconnections live on layer-2 cloud-exchange fabrics,
+so no traceroute can see the switch.  The paper's trick: a client port
+carrying VLANs to several clouds answers probes from *all* of them with
+one address -- so a CBI observed from two clouds must be a VPI.
+
+This example runs only the pieces needed for that result:
+
+1. round-1 sweep from Amazon's 15 regions -> candidate CBIs;
+2. target-pool construction (non-IXP CBIs, their +1s, discovery dsts);
+3. probing the pool from Microsoft, Google, IBM and Oracle;
+4. the overlap table (paper's Table 4), then -- because the simulator has
+   ground truth the authors lacked -- how far below the real VPI count
+   the lower bound sits.
+
+Run:  python examples/vpi_detection.py
+"""
+
+import time
+
+from repro import AmazonPeeringStudy, WorldConfig, build_world
+from repro.core.evaluation import evaluate_study
+
+
+def main() -> None:
+    t0 = time.time()
+    world = build_world(WorldConfig(scale=0.05, seed=11))
+    study = AmazonPeeringStudy(
+        world, seed=11, expansion_stride=4, run_crossval=False
+    )
+    result = study.run()
+    print(f"study finished in {time.time() - t0:.1f}s\n")
+
+    vpi = result.vpi
+    print(f"target pool: {vpi.pool_size} addresses "
+          "(non-IXP CBIs, +1 neighbours, discovery destinations)")
+    print(f"Amazon CBIs under test: {vpi.amazon_cbis}\n")
+
+    print(f"{'cloud':>10} {'pairwise':>9} {'%':>7} {'cumulative':>11} {'%':>7}")
+    for cloud in ("microsoft", "google", "ibm", "oracle"):
+        print(
+            f"{cloud:>10} {len(vpi.pairwise[cloud]):>9} "
+            f"{vpi.pairwise_fraction(cloud) * 100:>6.2f}% "
+            f"{len(vpi.cumulative[cloud]):>11} "
+            f"{vpi.cumulative_fraction(cloud) * 100:>6.2f}%"
+        )
+    print("\npaper (Table 4): Microsoft 18.93%, Google 3.17%, IBM 0.94%, "
+          "Oracle 0%; cumulative 20.23%")
+
+    # What the paper could not do: compare against ground truth.
+    ev = evaluate_study(world, result)
+    print("\nground truth (invisible to a real measurement study):")
+    print(f"  true VPI ports:            {ev.vpi.true_vpi_cbis}")
+    print(f"  detectable (multi-cloud,")
+    print(f"  shared-response) ports:    {ev.vpi.detectable_vpi_cbis}")
+    print(f"  detected:                  {ev.vpi.detected} "
+          f"(of which {ev.vpi.detected_true} true)")
+    print(f"  recall of detectable:      {ev.vpi.recall_of_detectable * 100:.0f}%")
+    print(f"  lower-bound tightness:     {ev.vpi.lower_bound_tightness * 100:.0f}% "
+          "of all true VPI ports")
+    print("\nThe gap is the paper's own caveat made quantitative: single-cloud")
+    print("VPIs, per-cloud response addresses, and private-address VPIs stay")
+    print("invisible, so Table 4 is a lower bound.")
+
+
+if __name__ == "__main__":
+    main()

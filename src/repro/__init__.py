@@ -1,0 +1,44 @@
+"""repro: a full reproduction of "How Cloud Traffic Goes Hiding: A Study of
+Amazon's Peering Fabric" (IMC 2019).
+
+The package has four layers:
+
+* :mod:`repro.world` -- a seeded synthetic Internet with ground truth:
+  clouds, regions, colo facilities, IXPs, cloud exchanges, client ASes, and
+  every flavour of interconnection (public, cross-connect, VPI);
+* :mod:`repro.measure` -- the measurement plane (traceroute, ping, public
+  reachability, MIDAR-style alias resolution) -- the only window inference
+  gets onto the world;
+* :mod:`repro.datasets` -- public-data substrates (BGP, WHOIS, as2org,
+  PeeringDB, merged IXP view) derived with realistic coverage gaps;
+* :mod:`repro.core` -- the paper's methodology: border inference,
+  verification heuristics, alias verification, pinning, VPI detection,
+  peering grouping, and graph characterisation, plus :mod:`repro.bdrmap`
+  (the §8 baseline) and :mod:`repro.analysis` (tables/figures/report).
+
+Quickstart::
+
+    from repro import WorldConfig, build_world, AmazonPeeringStudy, render_report
+
+    world = build_world(WorldConfig(scale=0.05, seed=7))
+    result = AmazonPeeringStudy(world, seed=7).run()
+    print(render_report(result))
+"""
+
+from repro.analysis.report import render_report
+from repro.core.pipeline import AmazonPeeringStudy
+from repro.core.results import StudyResult
+from repro.world.build import WorldConfig, build_world
+from repro.world.model import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmazonPeeringStudy",
+    "StudyResult",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "render_report",
+    "__version__",
+]

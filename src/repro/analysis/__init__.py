@@ -1,0 +1,6 @@
+"""Tables, figures, and the paper-vs-measured report."""
+
+from repro.analysis import figures, paper_values, tables
+from repro.analysis.report import render_report
+
+__all__ = ["figures", "paper_values", "render_report", "tables"]

@@ -1,0 +1,80 @@
+"""Tiny ASCII renderings of the paper's CDFs for terminal reports.
+
+The paper's figures are simple empirical CDFs; a fixed-width block of
+``#`` columns is enough to eyeball the knees in a terminal.  Used by the
+CLI report; kept dependency-free on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    width: int = 56,
+    height: int = 8,
+    x_max: Optional[float] = None,
+    marker: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render the empirical CDF of ``values`` as an ASCII block.
+
+    ``marker`` draws a vertical ``|`` column at a given x (e.g. the 2 ms
+    knee); ``x_max`` clips the x axis (defaults to the 98th percentile so
+    a long tail does not flatten the interesting part).
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    ordered = sorted(values)
+    if x_max is None:
+        x_max = ordered[min(len(ordered) - 1, int(len(ordered) * 0.98))]
+    if x_max <= 0:
+        x_max = max(ordered[-1], 1e-9)
+
+    # Fraction of samples <= x for each column.
+    n = len(ordered)
+    fractions: List[float] = []
+    idx = 0
+    for col in range(width):
+        x = (col + 1) / width * x_max
+        while idx < n and ordered[idx] <= x:
+            idx += 1
+        fractions.append(idx / n)
+
+    marker_col = None
+    if marker is not None and 0 < marker <= x_max:
+        marker_col = min(width - 1, int(marker / x_max * width))
+
+    rows: List[str] = []
+    if title:
+        rows.append(title)
+    for level in range(height, 0, -1):
+        threshold = level / height
+        cells = []
+        for col, frac in enumerate(fractions):
+            if frac >= threshold:
+                cells.append("#")
+            elif col == marker_col:
+                cells.append("|")
+            else:
+                cells.append(" ")
+        rows.append(f"{threshold:4.2f} {''.join(cells)}")
+    axis = f"{'':4} 0{'':{max(0, width - len(f'{x_max:.1f}') - 1)}}{x_max:.1f}"
+    rows.append(axis)
+    return "\n".join(rows)
+
+
+def ascii_hist(
+    pairs: Sequence[Tuple[str, float]], width: int = 40, title: str = ""
+) -> str:
+    """Horizontal bars for labelled fractions (e.g. per-group shares)."""
+    if not pairs:
+        return f"{title}\n(no data)"
+    rows: List[str] = [title] if title else []
+    peak = max(v for _l, v in pairs) or 1.0
+    label_width = max(len(l) for l, _v in pairs)
+    for label, value in pairs:
+        bar = "#" * max(1 if value > 0 else 0, int(value / peak * width))
+        rows.append(f"{label:>{label_width}} {bar} {value:.1%}")
+    return "\n".join(rows)

@@ -1,0 +1,161 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Every table and figure the benchmarks regenerate is compared against these
+constants.  Absolute counts are scale-dependent (the paper probed the real
+Internet; we probe a 1/10-scale world), so comparisons are made on
+*fractions and shapes*; counts are shown scaled by ``WorldConfig.scale``
+for orientation only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+# --- Table 1: interfaces and annotation sources ---------------------------
+# label -> (count, bgp%, whois%, ixp%)
+TABLE1: Dict[str, Tuple[int, float, float, float]] = {
+    "ABI": (3_680, 0.384, 0.616, 0.0),
+    "CBI": (21_730, 0.5474, 0.248, 0.2046),
+    "eABI": (3_780, 0.3885, 0.6115, 0.0),
+    "eCBI": (24_750, 0.7982, 0.0232, 0.1786),
+}
+
+#: §3 campaign yield.
+COMPLETED_FRACTION = 0.077
+LEFT_AMAZON_FRACTION = 0.77
+
+#: §4.2: peer AS count before and after expansion.
+PEER_ASES_R1 = 3_520
+PEER_ASES_R2 = 3_550
+
+# --- Table 2: heuristic confirmation (ABIs; CBIs in parentheses) ----------
+# heuristic -> (individual ABIs, individual CBIs, cumulative ABIs, cumulative CBIs)
+TABLE2: Dict[str, Tuple[int, int, int, int]] = {
+    "ixp": (830, 13_660, 830, 13_660),
+    "hybrid": (2_050, 14_440, 2_260, 15_140),
+    "reachable": (2_800, 15_140, 3_310, 24_230),
+}
+HEURISTIC_CONFIRMED_ABI_FRACTION = 0.878
+HEURISTIC_CONFIRMED_CBI_FRACTION = 0.9696
+
+# --- §5.2: alias verification ----------------------------------------------
+ALIAS_SETS = 2_640
+ALIAS_INTERFACES = 8_680
+ALIAS_MAJORITY_OVER_HALF = 0.94
+ALIAS_UNANIMOUS = 0.92
+CHANGES_ABI_TO_CBI = 18
+CHANGES_CBI_TO_ABI = 2
+CHANGES_CBI_TO_CBI = 25
+FINAL_ABIS = 3_770
+FINAL_CBIS = 24_760
+FINAL_PEER_ASES = 3_550
+
+# --- Table 3: anchors and pinned interfaces --------------------------------
+# evidence -> exclusive count
+TABLE3_EXCLUSIVE: Dict[str, int] = {
+    "dns": 5_310,
+    "ixp": 2_000,
+    "metro": 1_660,
+    "native": 1_420,
+    "alias": 650,
+    "min-rtt": 5_380,
+}
+TABLE3_CUMULATIVE: Dict[str, int] = {
+    "dns": 5_310,
+    "ixp": 6_730,
+    "metro": 7_220,
+    "native": 8_640,
+    "alias": 9_210,
+    "min-rtt": 14_370,
+}
+PINNING_ROUNDS = 4
+METRO_PIN_COVERAGE = 0.5021
+TOTAL_PIN_COVERAGE = 0.8058
+PINNING_PRECISION = 0.9934
+PINNING_RECALL = 0.5721
+#: §6.1: interfaces visible from a single region + conflict rate.
+SINGLE_REGION_INTERFACES = 1_110
+PINNING_CONFLICT_FRACTION = 0.012
+
+# --- Figures 4 and 5 ---------------------------------------------------------
+FIG4A_KNEE_MS = 2.0
+FIG4A_FRACTION_UNDER_KNEE = 0.40
+FIG4B_KNEE_MS = 2.0
+FIG4B_FRACTION_UNDER_KNEE = 0.50
+FIG5_RATIO_THRESHOLD = 1.5
+FIG5_FRACTION_OVER_THRESHOLD = 0.57
+
+# --- Table 4: VPI detection ---------------------------------------------------
+# cloud -> (pairwise count, pairwise fraction of CBIs)
+TABLE4_PAIRWISE: Dict[str, Tuple[int, float]] = {
+    "microsoft": (4_690, 0.1893),
+    "google": (790, 0.0317),
+    "ibm": (230, 0.0094),
+    "oracle": (0, 0.0),
+}
+TABLE4_CUMULATIVE: Dict[str, Tuple[int, float]] = {
+    "microsoft": (4_690, 0.1893),
+    "google": (4_930, 0.1991),
+    "ibm": (5_010, 0.2023),
+    "oracle": (5_010, 0.2023),
+}
+
+# --- Table 5: the six peering groups ------------------------------------------
+# group -> (AS fraction, CBI fraction, ABI fraction)
+TABLE5: Dict[str, Tuple[float, float, float]] = {
+    "Pb-nB": (0.71, 0.16, 0.21),
+    "Pb-B": (0.05, 0.02, 0.15),
+    "Pr-nB-V": (0.07, 0.12, 0.14),
+    "Pr-nB-nV": (0.31, 0.41, 0.69),
+    "Pr-B-nV": (0.03, 0.23, 0.55),
+    "Pr-B-V": (0.02, 0.08, 0.09),
+}
+HIDDEN_PEERING_FRACTION = 0.3329
+#: §7.3: BGP coverage -- how many of BGP's reported Amazon peers we recover.
+BGP_REPORTED_PEERINGS = 250
+BGP_RECOVERY_FRACTION = 0.93
+
+# --- Table 6: hybrid profiles (top entries) --------------------------------------
+TABLE6_TOP: Tuple[Tuple[FrozenSet[str], int], ...] = (
+    (frozenset({"Pb-nB"}), 2_187),
+    (frozenset({"Pr-nB-nV"}), 686),
+    (frozenset({"Pr-nB-nV", "Pb-nB"}), 207),
+    (frozenset({"Pb-B"}), 117),
+    (frozenset({"Pr-nB-nV", "Pr-nB-V"}), 83),
+)
+
+# --- Figure 6 medians (orders of magnitude, per group) ---------------------------
+# group -> (bgp /24 cone median, reachable /24 median)
+FIG6_CONE_MEDIANS: Dict[str, float] = {
+    "Pb-nB": 4,
+    "Pb-B": 200,
+    "Pr-nB-V": 15,
+    "Pr-nB-nV": 10,
+    "Pr-B-nV": 20_000,
+    "Pr-B-V": 8_000,
+}
+
+# --- §7.4: the ICG -----------------------------------------------------------------
+ICG_LARGEST_COMPONENT_FRACTION = 0.923
+ICG_INTRA_REGION_FRACTION = 0.98
+ICG_BOTH_PINNED_FRACTION = 0.5785
+FIG7A_ABI_DEG1_FRACTION = 0.30
+FIG7A_ABI_UNDER10_FRACTION = 0.70
+FIG7A_ABI_UNDER100_FRACTION = 0.95
+FIG7B_CBI_DEG1_FRACTION = 0.50
+FIG7B_CBI_UNDER8_FRACTION = 0.90
+
+# --- §8: bdrmap --------------------------------------------------------------------
+BDRMAP_ABIS = 4_830
+BDRMAP_CBIS = 9_650
+BDRMAP_ASES = 2_660
+BDRMAP_COMMON_ABIS = 1_850
+BDRMAP_COMMON_CBIS = 5_480
+BDRMAP_COMMON_ASES = 2_000
+BDRMAP_AS0_CBIS = 320
+BDRMAP_CONFLICTING_CBIS = 500
+BDRMAP_FLIP_INTERFACES = 872
+BDRMAP_FLIP_HOME_FRACTION = 0.97
+
+#: §7.1 VPI probing pool size (full scale).
+VPI_POOL_SIZE = 327_000

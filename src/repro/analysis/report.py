@@ -1,0 +1,203 @@
+"""Text rendering of the full paper-vs-measured comparison."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis import figures, paper_values as paper, tables
+from repro.core.results import StudyResult
+from repro.datasets.relationships import ASRelationships
+
+
+def _fmt_pct(x: float) -> str:
+    return f"{x:5.1f}%"
+
+
+def render_report(
+    result: StudyResult,
+    relationships: Optional[ASRelationships] = None,
+) -> str:
+    """A complete, human-readable paper-vs-measured report."""
+    lines: List[str] = []
+    add = lines.append
+    scale = result.scale or 1.0
+
+    add("=" * 74)
+    add("Amazon peering-fabric study: measured vs. paper (IMC '19)")
+    add(f"world scale = {scale:g} of the paper's 3,548 peer ASes; seed = {result.seed}")
+    add("=" * 74)
+
+    # Table 1 -------------------------------------------------------------
+    add("")
+    add("Table 1 -- interfaces and annotation sources")
+    add(f"{'':>6} {'count':>7} {'(paper x scale)':>16} {'BGP%':>7} {'WHOIS%':>7} {'IXP%':>6}   paper: BGP/WHOIS/IXP")
+    for row in tables.table1(result):
+        p_count, p_bgp, p_whois, p_ixp = paper.TABLE1[row.label]
+        add(
+            f"{row.label:>6} {row.total:>7} {p_count * scale:>16.0f} "
+            f"{_fmt_pct(row.bgp_pct)} {_fmt_pct(row.whois_pct)} {_fmt_pct(row.ixp_pct)}"
+            f"   {p_bgp * 100:.1f}/{p_whois * 100:.1f}/{p_ixp * 100:.1f}"
+        )
+    if result.round1_stats:
+        add(
+            f"round-1 yield: completed {result.round1_stats.completed_fraction * 100:.1f}% "
+            f"(paper {paper.COMPLETED_FRACTION * 100:.1f}%), "
+            f"left Amazon {result.round1_stats.left_cloud_fraction * 100:.1f}% "
+            f"(paper {paper.LEFT_AMAZON_FRACTION * 100:.0f}%)"
+        )
+
+    # Table 2 -------------------------------------------------------------
+    add("")
+    add("Table 2 -- heuristic confirmation of candidate ABIs (CBIs)")
+    for row in tables.table2(result):
+        p_ind_a, p_ind_c, p_cum_a, p_cum_c = paper.TABLE2[row.heuristic]
+        add(
+            f"{row.heuristic:>10}: individual {row.individual_abis} ({row.individual_cbis})"
+            f"  cumulative {row.cumulative_abis} ({row.cumulative_cbis})"
+            f"   paper x scale: {p_ind_a * scale:.0f} ({p_ind_c * scale:.0f}) /"
+            f" {p_cum_a * scale:.0f} ({p_cum_c * scale:.0f})"
+        )
+    if result.heuristics:
+        total = len(result.heuristics.confirmed_abis) + len(result.heuristics.unconfirmed_abis)
+        frac = len(result.heuristics.confirmed_abis) / total if total else 0.0
+        add(
+            f"confirmed ABI fraction: {frac * 100:.1f}% "
+            f"(paper {paper.HEURISTIC_CONFIRMED_ABI_FRACTION * 100:.1f}%)"
+        )
+
+    # §5.2 ---------------------------------------------------------------
+    if result.verification:
+        v = result.verification
+        add("")
+        add("Alias verification (5.2)")
+        add(
+            f"alias sets: {len(result.alias_sets)} (paper x scale {paper.ALIAS_SETS * scale:.0f}); "
+            f"label changes ABI->CBI {v.changed_abi_to_cbi}, CBI->ABI {v.changed_cbi_to_abi}, "
+            f"CBI->CBI {v.changed_cbi_to_cbi} (paper {paper.CHANGES_ABI_TO_CBI}/"
+            f"{paper.CHANGES_CBI_TO_ABI}/{paper.CHANGES_CBI_TO_CBI} at full scale)"
+        )
+        if v.ownership and v.ownership.set_count:
+            o = v.ownership
+            add(
+                f"sets with >50% majority owner: {o.majority_over_half / o.set_count * 100:.0f}% "
+                f"(paper {paper.ALIAS_MAJORITY_OVER_HALF * 100:.0f}%), unanimous "
+                f"{o.unanimous / o.set_count * 100:.0f}% (paper {paper.ALIAS_UNANIMOUS * 100:.0f}%)"
+            )
+        add(
+            f"final: {len(result.abis)} ABIs, {len(result.cbis)} CBIs "
+            f"(paper x scale {paper.FINAL_ABIS * scale:.0f} / {paper.FINAL_CBIS * scale:.0f})"
+        )
+
+    # Table 3 / §6 ----------------------------------------------------------
+    add("")
+    add("Table 3 -- anchors and pinning")
+    for row in tables.table3(result):
+        add(
+            f"{row.evidence:>8}: exclusive {row.exclusive:>5}  cumulative {row.cumulative:>5}"
+            f"   paper x scale: {paper.TABLE3_EXCLUSIVE[row.evidence] * scale:.0f} /"
+            f" {paper.TABLE3_CUMULATIVE[row.evidence] * scale:.0f}"
+        )
+    add(
+        f"metro-level coverage {result.metro_pin_coverage * 100:.1f}% "
+        f"(paper {paper.METRO_PIN_COVERAGE * 100:.1f}%); with regional fallback "
+        f"{result.total_pin_coverage * 100:.1f}% (paper {paper.TOTAL_PIN_COVERAGE * 100:.1f}%)"
+    )
+    if result.pinning:
+        add(f"pinning rounds: {result.pinning.rounds} (paper {paper.PINNING_ROUNDS})")
+    if result.crossval:
+        add(
+            f"cross-validation: precision {result.crossval.mean_precision * 100:.1f}% "
+            f"(paper {paper.PINNING_PRECISION * 100:.1f}%), recall "
+            f"{result.crossval.mean_recall * 100:.1f}% (paper {paper.PINNING_RECALL * 100:.1f}%)"
+        )
+
+    # Figures 4-5 -----------------------------------------------------------
+    add("")
+    add("Figures 4-5 -- RTT distributions")
+    f4a = figures.fig4a_series(result)
+    f4b = figures.fig4b_series(result)
+    f5 = figures.fig5_series(result)
+    from repro.analysis.ascii import ascii_cdf
+
+    add(ascii_cdf(f4a, marker=2.0, title="Fig 4a: CDF of min-RTT to ABIs (ms; | = 2 ms knee)"))
+    add("")
+    add(ascii_cdf(f4b, marker=2.0, title="Fig 4b: CDF of segment min-RTT differences (ms)"))
+    add(
+        f"Fig 4a: {figures.fraction_below(f4a, paper.FIG4A_KNEE_MS) * 100:.0f}% of ABIs under "
+        f"{paper.FIG4A_KNEE_MS:.0f} ms (paper ~{paper.FIG4A_FRACTION_UNDER_KNEE * 100:.0f}%)"
+    )
+    add(
+        f"Fig 4b: {figures.fraction_below(f4b, paper.FIG4B_KNEE_MS) * 100:.0f}% of segments under "
+        f"{paper.FIG4B_KNEE_MS:.0f} ms (paper ~{paper.FIG4B_FRACTION_UNDER_KNEE * 100:.0f}%)"
+    )
+    add(
+        f"Fig 5: {figures.fraction_above(f5, paper.FIG5_RATIO_THRESHOLD) * 100:.0f}% of ratios over "
+        f"{paper.FIG5_RATIO_THRESHOLD} (paper {paper.FIG5_FRACTION_OVER_THRESHOLD * 100:.0f}%)"
+    )
+
+    # Table 4 -----------------------------------------------------------------
+    add("")
+    add("Table 4 -- VPIs visible from other clouds")
+    for row in tables.table4(result):
+        p_pair = paper.TABLE4_PAIRWISE[row.cloud]
+        p_cum = paper.TABLE4_CUMULATIVE[row.cloud]
+        add(
+            f"{row.cloud:>10}: pairwise {row.pairwise:>5} ({row.pairwise_pct:.2f}%)  "
+            f"cumulative {row.cumulative:>5} ({row.cumulative_pct:.2f}%)"
+            f"   paper: {p_pair[1] * 100:.2f}% / {p_cum[1] * 100:.2f}%"
+        )
+
+    # Table 5 / 6 ----------------------------------------------------------------
+    add("")
+    add("Table 5 -- peering groups (AS% / CBI% / ABI%)")
+    for row in tables.table5(result):
+        p = paper.TABLE5[row.group]
+        add(
+            f"{row.group:>9}: {row.ases:>4} ({row.ases_pct:4.1f}%)  {row.cbis:>5} ({row.cbis_pct:4.1f}%)  "
+            f"{row.abis:>4} ({row.abis_pct:4.1f}%)   paper: {p[0] * 100:.0f}/{p[1] * 100:.0f}/{p[2] * 100:.0f}"
+        )
+    if result.grouping:
+        add(
+            f"hidden peerings: {result.grouping.hidden_fraction() * 100:.1f}% of peer ASes "
+            f"(paper {paper.HIDDEN_PEERING_FRACTION * 100:.1f}%)"
+        )
+    add(
+        f"BGP-visible peer recovery: {result.bgp_recovery_fraction * 100:.0f}% of "
+        f"{len(result.bgp_visible_peers)} (paper {paper.BGP_RECOVERY_FRACTION * 100:.0f}% of "
+        f"{paper.BGP_REPORTED_PEERINGS})"
+    )
+    add("")
+    add("Table 6 -- top hybrid peering profiles")
+    for profile, count in tables.table6(result)[:8]:
+        add(f"  {'; '.join(sorted(profile)):<42} {count}")
+
+    # §7.4 --------------------------------------------------------------------------
+    if result.icg:
+        add("")
+        add("Figure 7 / 7.4 -- the interface connectivity graph")
+        add(
+            f"largest component: {result.icg.largest_component_fraction * 100:.1f}% of nodes "
+            f"(paper {paper.ICG_LARGEST_COMPONENT_FRACTION * 100:.1f}%)"
+        )
+        add(
+            f"intra-region fraction of both-end-pinned edges: "
+            f"{result.icg.intra_region_fraction * 100:.1f}% (paper {paper.ICG_INTRA_REGION_FRACTION * 100:.0f}%)"
+        )
+        abi_deg = result.icg.abi_degrees
+        cbi_deg = result.icg.cbi_degrees
+        add(
+            f"ABI degree: deg<=1 {figures.degree_fraction_at_most(abi_deg, 1) * 100:.0f}% "
+            f"(paper {paper.FIG7A_ABI_DEG1_FRACTION * 100:.0f}%), "
+            f"deg<10 {figures.degree_fraction_at_most(abi_deg, 9) * 100:.0f}% "
+            f"(paper {paper.FIG7A_ABI_UNDER10_FRACTION * 100:.0f}%)"
+        )
+        add(
+            f"CBI degree: deg<=1 {figures.degree_fraction_at_most(cbi_deg, 1) * 100:.0f}% "
+            f"(paper {paper.FIG7B_CBI_DEG1_FRACTION * 100:.0f}%), "
+            f"deg<=8 {figures.degree_fraction_at_most(cbi_deg, 8) * 100:.0f}% "
+            f"(paper {paper.FIG7B_CBI_UNDER8_FRACTION * 100:.0f}%)"
+        )
+
+    add("")
+    add("timings: " + ", ".join(f"{k}={v:.1f}s" for k, v in result.runtime_seconds.items()))
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Computation of the paper's tables from a :class:`StudyResult`.
+
+Each ``tableN`` function returns plain data (lists of row tuples or dicts)
+so benchmarks and the CLI can render or assert on them without re-running
+any inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.results import StudyResult
+from repro.world.profiles import ALL_GROUPS, PB_B, PB_NB, PR_B_NV, PR_B_V, PR_NB_NV, PR_NB_V
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    label: str
+    total: int
+    bgp_pct: float
+    whois_pct: float
+    ixp_pct: float
+
+
+def table1(result: StudyResult) -> List[Table1Row]:
+    """Interface censuses before and after expansion probing."""
+    return [
+        Table1Row(
+            label=row.label,
+            total=row.total,
+            bgp_pct=row.bgp_fraction * 100,
+            whois_pct=row.whois_fraction * 100,
+            ixp_pct=row.ixp_fraction * 100,
+        )
+        for row in result.table1
+    ]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    heuristic: str
+    individual_abis: int
+    individual_cbis: int
+    cumulative_abis: int
+    cumulative_cbis: int
+
+
+def table2(result: StudyResult) -> List[Table2Row]:
+    """Heuristic confirmation counts (§5.1)."""
+    if result.heuristics is None:
+        return []
+    outcome = result.heuristics
+
+    def cbis_of(abis) -> int:
+        seen = set()
+        for (a, c) in result.final_segments:
+            if a in abis:
+                seen.add(c)
+        return len(seen)
+
+    rows = []
+    for name in ("ixp", "hybrid", "reachable"):
+        rows.append(
+            Table2Row(
+                heuristic=name,
+                individual_abis=len(outcome.individual_abis.get(name, ())),
+                individual_cbis=cbis_of(outcome.individual_abis.get(name, set())),
+                cumulative_abis=len(outcome.cumulative_abis.get(name, ())),
+                cumulative_cbis=cbis_of(outcome.cumulative_abis.get(name, set())),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    evidence: str
+    exclusive: int
+    cumulative: int
+
+
+def table3(result: StudyResult) -> List[Table3Row]:
+    """Anchor and pinned-interface counts by evidence (§6.1)."""
+    if result.anchors is None or result.pinning is None:
+        return []
+    rows: List[Table3Row] = []
+    exclusive = result.anchors.exclusive_counts()
+    cumulative = result.anchors.cumulative_counts()
+    for name in ("dns", "ixp", "metro", "native"):
+        rows.append(Table3Row(name, exclusive[name], cumulative[name]))
+    anchor_total = len(result.anchors.anchors)
+    alias_pinned = len(result.pinning.pinned_by_alias)
+    rtt_pinned = len(result.pinning.pinned_by_rtt)
+    rows.append(Table3Row("alias", alias_pinned, anchor_total + alias_pinned))
+    rows.append(
+        Table3Row("min-rtt", rtt_pinned, anchor_total + alias_pinned + rtt_pinned)
+    )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    cloud: str
+    pairwise: int
+    pairwise_pct: float
+    cumulative: int
+    cumulative_pct: float
+
+
+def table4(result: StudyResult) -> List[Table4Row]:
+    """VPI overlaps per probing cloud (§7.1)."""
+    if result.vpi is None:
+        return []
+    rows = []
+    for cloud in ("microsoft", "google", "ibm", "oracle"):
+        rows.append(
+            Table4Row(
+                cloud=cloud,
+                pairwise=len(result.vpi.pairwise.get(cloud, ())),
+                pairwise_pct=result.vpi.pairwise_fraction(cloud) * 100,
+                cumulative=len(result.vpi.cumulative.get(cloud, ())),
+                cumulative_pct=result.vpi.cumulative_fraction(cloud) * 100,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    group: str
+    ases: int
+    ases_pct: float
+    cbis: int
+    cbis_pct: float
+    abis: int
+    abis_pct: float
+
+
+def table5(result: StudyResult) -> List[Table5Row]:
+    """The six-group breakdown of Amazon's peerings (§7.2)."""
+    grouping = result.grouping
+    if grouping is None:
+        return []
+    n_ases = max(len(grouping.all_ases()), 1)
+    n_cbis = max(len(grouping.all_cbis()), 1)
+    n_abis = max(len(grouping.all_abis()), 1)
+    rows = []
+    for group in ALL_GROUPS:
+        a = len(grouping.ases_in_group(group))
+        c = len(grouping.cbis_in_group(group))
+        b = len(grouping.abis_in_group(group))
+        rows.append(
+            Table5Row(
+                group=group,
+                ases=a,
+                ases_pct=a / n_ases * 100,
+                cbis=c,
+                cbis_pct=c / n_cbis * 100,
+                abis=b,
+                abis_pct=b / n_abis * 100,
+            )
+        )
+    return rows
+
+
+def table5_aggregates(result: StudyResult) -> Dict[str, Tuple[int, int, int]]:
+    """The italic aggregate rows of Table 5: Pb, Pr-nB, Pr-B."""
+    grouping = result.grouping
+    if grouping is None:
+        return {}
+    combos = {
+        "Pb": (PB_NB, PB_B),
+        "Pr-nB": (PR_NB_V, PR_NB_NV),
+        "Pr-B": (PR_B_NV, PR_B_V),
+    }
+    out: Dict[str, Tuple[int, int, int]] = {}
+    for label, groups in combos.items():
+        ases = set()
+        cbis = set()
+        abis = set()
+        for g in groups:
+            ases |= grouping.ases_in_group(g)
+            cbis |= grouping.cbis_in_group(g)
+            abis |= grouping.abis_in_group(g)
+        out[label] = (len(ases), len(cbis), len(abis))
+    return out
+
+
+def table6(result: StudyResult) -> List[Tuple[FrozenSet[str], int]]:
+    """Hybrid-peering census, most common combination first (§7.2)."""
+    grouping = result.grouping
+    if grouping is None:
+        return []
+    census = grouping.hybrid_census()
+    return sorted(census.items(), key=lambda kv: (-kv[1], tuple(sorted(kv[0]))))

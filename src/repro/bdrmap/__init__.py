@@ -1,0 +1,12 @@
+"""bdrmap-style baseline (§8): per-region border mapping and comparison."""
+
+from repro.bdrmap.compare import BdrmapComparison, compare
+from repro.bdrmap.engine import BdrmapEngine, BdrmapResult, RegionInference
+
+__all__ = [
+    "BdrmapComparison",
+    "BdrmapEngine",
+    "BdrmapResult",
+    "RegionInference",
+    "compare",
+]

@@ -1,0 +1,94 @@
+"""Comparison of bdrmap's output with our methodology (§8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4
+from repro.bdrmap.engine import BdrmapResult
+from repro.core.results import StudyResult
+from repro.datasets.relationships import ASRelationships
+
+
+@dataclass
+class BdrmapComparison:
+    """The quantities §8 reports."""
+
+    bdrmap_abis: int = 0
+    bdrmap_cbis: int = 0
+    bdrmap_ases: int = 0
+    ours_abis: int = 0
+    ours_cbis: int = 0
+    ours_ases: int = 0
+    common_abis: int = 0
+    common_cbis: int = 0
+    common_ases: int = 0
+    #: §8 inconsistency 1: CBIs with owner AS0 in every region
+    as0_owner_cbis: int = 0
+    #: §8 inconsistency 2: CBIs with different owners across regions
+    conflicting_owner_cbis: int = 0
+    max_owners_per_cbi: int = 0
+    #: §8 inconsistency 3: ABI-in-one-region / CBI-in-another interfaces
+    flip_interfaces: int = 0
+    #: of the flips, fraction announced by the home network's ASNs
+    flip_home_announced_fraction: float = 0.0
+    #: ASes found only by bdrmap, and how many survive provider validation
+    bdrmap_exclusive_ases: int = 0
+    thirdparty_cbis: int = 0
+    thirdparty_invalidated: int = 0
+
+
+def compare(
+    bdrmap: BdrmapResult,
+    study: StudyResult,
+    relationships: ASRelationships,
+    home_announced: Optional[Set[IPv4]] = None,
+) -> BdrmapComparison:
+    """Compute the §8 comparison table."""
+    cmp = BdrmapComparison()
+    b_abis, b_cbis = bdrmap.all_abis(), bdrmap.all_cbis()
+    b_ases = bdrmap.all_ases()
+    cmp.bdrmap_abis = len(b_abis)
+    cmp.bdrmap_cbis = len(b_cbis)
+    cmp.bdrmap_ases = len(b_ases)
+    cmp.ours_abis = len(study.abis)
+    cmp.ours_cbis = len(study.cbis)
+    our_ases = study.grouping.all_ases() if study.grouping else set()
+    cmp.ours_ases = len(our_ases)
+    cmp.common_abis = len(b_abis & study.abis)
+    cmp.common_cbis = len(b_cbis & study.cbis)
+    cmp.common_ases = len(b_ases & our_ases)
+
+    cmp.as0_owner_cbis = len(bdrmap.as0_cbis())
+    conflicts = bdrmap.conflicting_owner_cbis()
+    cmp.conflicting_owner_cbis = len(conflicts)
+    cmp.max_owners_per_cbi = max((len(v) for v in conflicts.values()), default=0)
+
+    flips = bdrmap.flip_interfaces()
+    cmp.flip_interfaces = len(flips)
+    if flips and home_announced is not None:
+        cmp.flip_home_announced_fraction = len(flips & home_announced) / len(flips)
+
+    cmp.bdrmap_exclusive_ases = len(b_ases - our_ases)
+
+    # Validate thirdparty-heuristic inferences the way §8 does: for each
+    # thirdparty-owned CBI, the destination ASes reached through it must
+    # share exactly one common provider; more than one (or none) means the
+    # heuristic fired on insufficient probing.
+    tp = bdrmap.thirdparty_cbis()
+    cmp.thirdparty_cbis = len(tp)
+    invalid = 0
+    for ip in tp:
+        dst_ases: Set[ASN] = set()
+        for run in bdrmap.runs.values():
+            owner = run.owner.get(ip)
+            if owner and ip in run.thirdparty_owned:
+                dst_ases.update(relationships.customers_of(owner))
+        providers = [relationships.providers_of(a) or {a} for a in dst_ases]
+        common = set.intersection(*providers) if providers else set()
+        if len(common) != 1:
+            invalid += 1
+    cmp.thirdparty_invalidated = invalid
+    return cmp

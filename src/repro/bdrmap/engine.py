@@ -1,0 +1,269 @@
+"""A bdrmap-style border-mapping baseline (§8).
+
+bdrmap [55] infers the borders of a *single* network from traceroutes
+launched inside it.  Its design assumptions differ from the cloud setting
+in two ways the paper exploits:
+
+* it selects traceroute targets from **BGP-announced prefixes** of known
+  neighbours and feeds AS-relationship data into its heuristics -- so
+  peerings invisible in BGP (a third of Amazon's) bias its output;
+* it expects border routers to sit squarely in the host *or* the peer
+  network, while Amazon's hybrid border routers face both.
+
+This module implements a faithful *simplification*: per-region independent
+runs with (i) BGP-driven target selection, (ii) last-home-ASN border
+detection, (iii) owner assignment via announced origin, with bdrmap's
+``thirdparty`` heuristic (single common provider among reached
+destinations) for unannounced interfaces, and (iv) far-side reassignment
+of home-announced interfaces that are only ever followed by client hops.
+Running it per region reproduces the §8 inconsistencies: AS0 owners,
+cross-region owner conflicts, and ABI/CBI flips.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.asn import AMAZON_ASNS, ASN
+from repro.net.ip import IPv4, Prefix
+from repro.datasets.bgp import BGPSnapshot
+from repro.datasets.relationships import ASRelationships
+from repro.measure.traceroute import Traceroute, TracerouteEngine
+from repro.world.model import World
+
+
+@dataclass
+class RegionInference:
+    """One region's bdrmap output."""
+
+    region: str
+    abis: Set[IPv4] = field(default_factory=set)
+    cbis: Set[IPv4] = field(default_factory=set)
+    #: interface -> inferred owner AS (0 = unknown)
+    owner: Dict[IPv4, ASN] = field(default_factory=dict)
+    #: interfaces whose owner came from the thirdparty heuristic
+    thirdparty_owned: Set[IPv4] = field(default_factory=set)
+
+
+@dataclass
+class BdrmapResult:
+    """Merged per-region outputs plus §8 consistency statistics."""
+
+    runs: Dict[str, RegionInference] = field(default_factory=dict)
+
+    def all_abis(self) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for run in self.runs.values():
+            out |= run.abis
+        return out
+
+    def all_cbis(self) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for run in self.runs.values():
+            out |= run.cbis
+        return out
+
+    def all_ases(self) -> Set[ASN]:
+        out: Set[ASN] = set()
+        for run in self.runs.values():
+            out.update(asn for asn in run.owner.values() if asn)
+        return out
+
+    # -- §8 inconsistency metrics ------------------------------------------
+
+    def as0_cbis(self) -> Set[IPv4]:
+        """CBIs for which no region produced an owner AS."""
+        owners: Dict[IPv4, Set[ASN]] = {}
+        for run in self.runs.values():
+            for ip in run.cbis:
+                owners.setdefault(ip, set()).add(run.owner.get(ip, 0))
+        return {ip for ip, asns in owners.items() if asns == {0}}
+
+    def conflicting_owner_cbis(self) -> Dict[IPv4, Set[ASN]]:
+        """CBIs whose inferred owner differs across regions."""
+        owners: Dict[IPv4, Set[ASN]] = {}
+        for run in self.runs.values():
+            for ip in run.cbis:
+                asn = run.owner.get(ip, 0)
+                if asn:
+                    owners.setdefault(ip, set()).add(asn)
+        return {ip: asns for ip, asns in owners.items() if len(asns) > 1}
+
+    def flip_interfaces(self) -> Set[IPv4]:
+        """Interfaces inferred ABI in one region and CBI in another."""
+        abis = self.all_abis()
+        cbis = self.all_cbis()
+        return abis & cbis
+
+    def thirdparty_cbis(self) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for run in self.runs.values():
+            out |= run.thirdparty_owned & run.cbis
+        return out
+
+
+class BdrmapEngine:
+    """Per-region bdrmap-style inference against the measurement plane."""
+
+    def __init__(
+        self,
+        world: World,
+        bgp: BGPSnapshot,
+        relationships: ASRelationships,
+        engine: Optional[TracerouteEngine] = None,
+        home_asns: Optional[Set[ASN]] = None,
+        cloud: str = "amazon",
+        targets_per_prefix: int = 12,
+    ) -> None:
+        self.world = world
+        self.bgp = bgp
+        self.relationships = relationships
+        self.engine = engine or TracerouteEngine(world)
+        self.home_asns = set(home_asns or AMAZON_ASNS)
+        self.cloud = cloud
+        self.targets_per_prefix = targets_per_prefix
+
+    # ------------------------------------------------------------------
+
+    def select_targets(self) -> List[IPv4]:
+        """BGP-driven target selection: probes into announced prefixes.
+
+        Several evenly spaced /24s per announced prefix, ``.1`` each --
+        the way bdrmap walks its neighbours' address space.  This is the
+        §8 bias: unannounced infrastructure space, where a quarter of the
+        round-1 CBIs live, is never probed.
+        """
+        targets: List[IPv4] = []
+        per_prefix = max(1, self.targets_per_prefix)
+        for ann in self.bgp.announcements:
+            count = min(per_prefix, max(1, ann.prefix.size // 256))
+            step = max(1, (ann.prefix.size // 256) // count)
+            nets = list(ann.prefix.slash24s())
+            for i in range(0, len(nets), step):
+                targets.append(nets[i].network + 1)
+                if len(targets) and i // step + 1 >= count:
+                    break
+        return sorted(set(targets))
+
+    # ------------------------------------------------------------------
+
+    def run_region(self, region: str, targets: Optional[Iterable[IPv4]] = None) -> RegionInference:
+        inference = RegionInference(region=region)
+        target_list = list(targets) if targets is not None else self.select_targets()
+        #: interface -> destination ASes observed beyond it (thirdparty input)
+        beyond: Dict[IPv4, Set[ASN]] = {}
+        #: home-announced interfaces -> ASNs of hops seen right after them
+        after_home: Dict[IPv4, Set[ASN]] = {}
+
+        for dst in target_list:
+            trace = self.engine.trace(self.cloud, region, dst)
+            self._ingest(trace, inference, beyond, after_home)
+
+        self._assign_thirdparty_owners(inference, beyond)
+        self._farside_reassignment(inference, after_home)
+        return inference
+
+    def run_all(self, regions: Optional[Iterable[str]] = None) -> BdrmapResult:
+        result = BdrmapResult()
+        targets = self.select_targets()
+        for region in regions or self.world.region_names(self.cloud):
+            result.runs[region] = self.run_region(region, targets)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _asn_of(self, ip: IPv4) -> ASN:
+        origin = self.bgp.origin_of(ip)
+        return origin if origin is not None else 0
+
+    def _ingest(
+        self,
+        trace: Traceroute,
+        inference: RegionInference,
+        beyond: Dict[IPv4, Set[ASN]],
+        after_home: Dict[IPv4, Set[ASN]],
+    ) -> None:
+        hops = [(h.ip, self._asn_of(h.ip)) for h in trace.hops if h.ip is not None]
+        if not hops:
+            return
+        # Last hop announced by the home network.
+        last_home_idx: Optional[int] = None
+        for idx, (_ip, asn) in enumerate(hops):
+            if asn in self.home_asns:
+                last_home_idx = idx
+        if last_home_idx is None or last_home_idx + 1 >= len(hops):
+            return
+        abi_ip, _ = hops[last_home_idx]
+        cbi_ip, cbi_asn = hops[last_home_idx + 1]
+        if cbi_ip == trace.dst:
+            return
+        inference.abis.add(abi_ip)
+        inference.cbis.add(cbi_ip)
+        # Owner: announced origin if any; else resolved later.
+        if cbi_asn:
+            inference.owner[cbi_ip] = cbi_asn
+        else:
+            inference.owner.setdefault(cbi_ip, 0)
+        # Record the destination ASes reached through the interface
+        # (the thirdparty heuristic's input).
+        dst_asn = self._asn_of(trace.dst)
+        if dst_asn and dst_asn not in self.home_asns:
+            beyond.setdefault(cbi_ip, set()).add(dst_asn)
+        # Far-side bookkeeping for home-announced interfaces.
+        for idx in range(len(hops) - 1):
+            ip, asn = hops[idx]
+            if asn in self.home_asns:
+                after_home.setdefault(ip, set()).add(hops[idx + 1][1])
+
+    # ------------------------------------------------------------------
+
+    def _assign_thirdparty_owners(
+        self, inference: RegionInference, beyond: Dict[IPv4, Set[ASN]]
+    ) -> None:
+        """bdrmap's thirdparty heuristic: an unowned interface is assigned
+        to a provider common to the destination ASes reached through it.
+
+        §8 shows the heuristic is only as good as the region's probing:
+        when several providers fit, bdrmap still picks one (the best
+        supported locally), so regions with different reachable
+        destination sets produce *different* owners for the same
+        interface -- the paper's owner-conflict inconsistency.
+        """
+        for ip, owner in list(inference.owner.items()):
+            if owner:
+                continue
+            dst_ases = beyond.get(ip, set()) - self.home_asns
+            if not dst_ases:
+                continue
+            provider_sets = [
+                self.relationships.providers_of(asn) or {asn} for asn in dst_ases
+            ]
+            common = set.intersection(*provider_sets) if provider_sets else set()
+            if not common:
+                continue
+            owner = max(
+                common,
+                key=lambda a: (sum(a in s for s in provider_sets), -a),
+            )
+            inference.owner[ip] = owner
+            inference.thirdparty_owned.add(ip)
+
+    def _farside_reassignment(
+        self, inference: RegionInference, after_home: Dict[IPv4, Set[ASN]]
+    ) -> None:
+        """Home-announced interfaces only ever followed by non-home hops
+        are reassigned to the far side (they sit on the peer's router).
+
+        This is where the hybrid border routers of the cloud setting bite:
+        from one region an interface looks far-side, from another it looks
+        home-side -- the §8 ABI/CBI flips.
+        """
+        for ip, next_asns in after_home.items():
+            meaningful = {a for a in next_asns if a}
+            if meaningful and not (meaningful & self.home_asns):
+                if ip in inference.abis:
+                    inference.abis.discard(ip)
+                    inference.cbis.add(ip)
+                    inference.owner.setdefault(ip, 0)

@@ -1,0 +1,108 @@
+"""Command-line entry point: build a world, run the study, print the report.
+
+::
+
+    repro-study --scale 0.05 --seed 7
+    python -m repro --scale 0.1 --expansion-stride 4 --with-bdrmap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.report import render_report
+from repro.core.evaluation import evaluate_study
+from repro.core.pipeline import AmazonPeeringStudy
+from repro.world.build import WorldConfig, build_world
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Reproduce the IMC'19 study of Amazon's peering fabric against a "
+            "seeded synthetic Internet."
+        ),
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's 3,548 peer ASes (default 0.05)")
+    parser.add_argument("--seed", type=int, default=7, help="world + campaign seed")
+    parser.add_argument("--expansion-stride", type=int, default=4,
+                        help="probe every Nth address in expansion /24s (1 = exhaustive)")
+    parser.add_argument("--crossval-folds", type=int, default=10)
+    parser.add_argument("--skip-vpi", action="store_true",
+                        help="skip the multi-cloud VPI detection round")
+    parser.add_argument("--skip-crossval", action="store_true")
+    parser.add_argument("--with-bdrmap", action="store_true",
+                        help="also run the bdrmap baseline comparison (section 8)")
+    parser.add_argument("--with-evaluation", action="store_true",
+                        help="score the study against the world's ground truth")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    t0 = time.time()
+    print(f"building world (scale={args.scale}, seed={args.seed})...", file=sys.stderr)
+    world = build_world(WorldConfig(scale=args.scale, seed=args.seed))
+    print(
+        f"  {len(world.client_ases)} peer ASes, "
+        f"{len(world.interconnections)} interconnections, "
+        f"{len(world.interfaces)} interfaces "
+        f"({time.time() - t0:.1f}s)",
+        file=sys.stderr,
+    )
+
+    study = AmazonPeeringStudy(
+        world,
+        seed=args.seed,
+        expansion_stride=args.expansion_stride,
+        crossval_folds=args.crossval_folds,
+        run_vpi=not args.skip_vpi,
+        run_crossval=not args.skip_crossval,
+    )
+    print("running the measurement study...", file=sys.stderr)
+    result = study.run()
+    print(render_report(result, study.relationships))
+
+    if args.with_bdrmap:
+        from repro.bdrmap import BdrmapEngine, compare
+
+        print("\nrunning the bdrmap baseline (section 8)...", file=sys.stderr)
+        engine = BdrmapEngine(world, study.bgp_r2, study.relationships, study.engine)
+        bdr = engine.run_all()
+        home = {
+            ip
+            for ip in bdr.flip_interfaces()
+            if study.bgp_r2.origin_of(ip) in study.cloud_annotators
+            or study.annotator_r2.is_home(study.annotator_r2.annotate(ip))
+        }
+        cmp = compare(bdr, result, study.relationships, home_announced=home)
+        print("\nbdrmap comparison (section 8)")
+        print(f"  bdrmap: {cmp.bdrmap_abis} ABIs, {cmp.bdrmap_cbis} CBIs, {cmp.bdrmap_ases} ASes")
+        print(f"  ours:   {cmp.ours_abis} ABIs, {cmp.ours_cbis} CBIs, {cmp.ours_ases} ASes")
+        print(f"  common: {cmp.common_abis} ABIs, {cmp.common_cbis} CBIs, {cmp.common_ases} ASes")
+        print(f"  AS0-owner CBIs: {cmp.as0_owner_cbis}; conflicting owners: "
+              f"{cmp.conflicting_owner_cbis} (max {cmp.max_owners_per_cbi} owners)")
+        print(f"  ABI/CBI flips across regions: {cmp.flip_interfaces}")
+
+    if args.with_evaluation:
+        ev = evaluate_study(world, result)
+        print("\nground-truth evaluation (not available to the paper's authors)")
+        print(f"  ABI precision {ev.borders.abi_precision * 100:.1f}%  recall {ev.borders.abi_recall * 100:.1f}%")
+        print(f"  CBI precision {ev.borders.cbi_precision * 100:.1f}%  recall {ev.borders.cbi_recall * 100:.1f}%"
+              f"  (near-misses on client routers: {ev.borders.cbi_near_misses})")
+        print(f"  pinning accuracy {ev.pinning.accuracy * 100:.1f}% over {ev.pinning.evaluated} interfaces")
+        print(f"  VPI lower bound: detected {ev.vpi.detected_true}/{ev.vpi.true_vpi_cbis} true VPI ports "
+              f"({ev.vpi.lower_bound_tightness * 100:.0f}%); "
+              f"recall of detectable ports {ev.vpi.recall_of_detectable * 100:.0f}%")
+        print(f"  interconnections never observed: {ev.unobserved_interconnections} "
+              f"(of which {ev.private_vpi_interconnections} private-address VPIs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

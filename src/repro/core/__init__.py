@@ -1,0 +1,66 @@
+"""The paper's contribution: border inference, verification, pinning,
+VPI detection, peering grouping, and graph characterisation."""
+
+from repro.core.aliasverify import AliasVerifier, VerificationResult, analyze_ownership
+from repro.core.anchors import AnchorBuilder, AnchorSet
+from repro.core.annotate import AnnotationSource, HopAnnotation, HopAnnotator
+from repro.core.borders import BorderObservatory, DropReason, SegmentRecord
+from repro.core.crossval import CrossValidationResult, cross_validate_pinning
+from repro.core.dnsgeo import DNSGeoParser, has_vlan_tag, has_vpi_keywords, vpi_evidence
+from repro.core.graph import ICGSummary, InterfaceConnectivityGraph, degree_cdf
+from repro.core.grouping import (
+    GroupingResult,
+    HIDDEN_GROUPS,
+    PeeringGrouper,
+    PeeringRecord,
+    classify_group,
+)
+from repro.core.heuristics import HeuristicOutcome, SegmentVerifier
+from repro.core.pinning import (
+    IterativePinner,
+    PinnedLocation,
+    PinningResult,
+    regional_fallback,
+)
+from repro.core.pipeline import AmazonPeeringStudy
+from repro.core.results import InterfaceCensus, StudyResult
+from repro.core.vpi import VPIDetectionResult, VPIDetector
+
+__all__ = [
+    "AliasVerifier",
+    "AmazonPeeringStudy",
+    "AnchorBuilder",
+    "AnchorSet",
+    "AnnotationSource",
+    "BorderObservatory",
+    "CrossValidationResult",
+    "DNSGeoParser",
+    "DropReason",
+    "GroupingResult",
+    "HIDDEN_GROUPS",
+    "HeuristicOutcome",
+    "HopAnnotation",
+    "HopAnnotator",
+    "ICGSummary",
+    "InterfaceCensus",
+    "InterfaceConnectivityGraph",
+    "IterativePinner",
+    "PeeringGrouper",
+    "PeeringRecord",
+    "PinnedLocation",
+    "PinningResult",
+    "SegmentRecord",
+    "SegmentVerifier",
+    "StudyResult",
+    "VPIDetectionResult",
+    "VPIDetector",
+    "VerificationResult",
+    "analyze_ownership",
+    "classify_group",
+    "cross_validate_pinning",
+    "degree_cdf",
+    "has_vlan_tag",
+    "has_vpi_keywords",
+    "regional_fallback",
+    "vpi_evidence",
+]

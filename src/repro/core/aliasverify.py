@@ -1,0 +1,168 @@
+"""Alias-set verification of interconnection segments (§5.2).
+
+MIDAR-style alias sets group interfaces onto routers.  The AS that owns a
+clear majority of a set's addresses is taken as the router's owner, and
+every candidate segment is checked: its ABI must sit on an Amazon-owned
+router and its CBI on a client-owned router.  Inconsistent interfaces are
+relabelled (ABI->CBI, CBI->ABI, or CBI->CBI when the interface turns out
+to belong to a different client), and the segment is shifted accordingly
+-- resolving the Fig. 2 ambiguity that the §5.1 heuristics could not.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4
+from repro.core.annotate import HopAnnotator
+from repro.core.borders import BorderObservatory
+
+
+@dataclass
+class AliasOwnership:
+    """Majority-owner analysis of the alias sets."""
+
+    sets: List[Set[IPv4]]
+    owner_of_set: List[Optional[ASN]]
+    majority_over_half: int = 0
+    unanimous: int = 0
+    undecided_interfaces: int = 0
+
+    @property
+    def set_count(self) -> int:
+        return len(self.sets)
+
+    def owner_of_ip(self) -> Dict[IPv4, ASN]:
+        out: Dict[IPv4, ASN] = {}
+        for group, owner in zip(self.sets, self.owner_of_set):
+            if owner is None:
+                continue
+            for ip in group:
+                out[ip] = owner
+        return out
+
+
+@dataclass
+class VerificationResult:
+    """Corrected segments plus the §5.2 bookkeeping numbers."""
+
+    final_segments: Set[Tuple[IPv4, IPv4]]
+    abis: Set[IPv4] = field(default_factory=set)
+    cbis: Set[IPv4] = field(default_factory=set)
+    changed_abi_to_cbi: int = 0
+    changed_cbi_to_abi: int = 0
+    changed_cbi_to_cbi: int = 0
+    ownership: Optional[AliasOwnership] = None
+
+    @property
+    def total_changes(self) -> int:
+        return self.changed_abi_to_cbi + self.changed_cbi_to_abi + self.changed_cbi_to_cbi
+
+
+def analyze_ownership(
+    alias_sets: List[Set[IPv4]], annotator: HopAnnotator
+) -> AliasOwnership:
+    """Majority AS owner per alias set (>50% of its interfaces)."""
+    owners: List[Optional[ASN]] = []
+    over_half = unanimous = undecided = 0
+    for group in alias_sets:
+        votes: Counter = Counter()
+        for ip in group:
+            ann = annotator.annotate(ip)
+            if ann.asn:
+                votes[ann.asn] += 1
+        owner: Optional[ASN] = None
+        if votes:
+            top_asn, top_count = votes.most_common(1)[0]
+            if top_count * 2 > len(group):
+                owner = top_asn
+                over_half += 1
+                if top_count == len(group):
+                    unanimous += 1
+            else:
+                undecided += len(group)
+        else:
+            undecided += len(group)
+        owners.append(owner)
+    return AliasOwnership(
+        sets=alias_sets,
+        owner_of_set=owners,
+        majority_over_half=over_half,
+        unanimous=unanimous,
+        undecided_interfaces=undecided,
+    )
+
+
+class AliasVerifier:
+    """Applies router-ownership consistency to the candidate segments."""
+
+    def __init__(
+        self,
+        observatory: BorderObservatory,
+        home_asns: Set[ASN],
+    ) -> None:
+        self.observatory = observatory
+        self.home_asns = set(home_asns)
+
+    def verify(self, alias_sets: List[Set[IPv4]]) -> VerificationResult:
+        annotator = self.observatory.annotator
+        ownership = analyze_ownership(alias_sets, annotator)
+        router_owner = ownership.owner_of_ip()
+
+        final: Set[Tuple[IPv4, IPv4]] = set()
+        abi_to_cbi = cbi_to_abi = cbi_to_cbi = 0
+
+        for (abi, cbi), record in sorted(self.observatory.segments.items()):
+            abi_owner = router_owner.get(abi)
+            cbi_owner = router_owner.get(cbi)
+            abi_is_home = abi_owner in self.home_asns if abi_owner is not None else None
+            cbi_is_home = cbi_owner in self.home_asns if cbi_owner is not None else None
+
+            if abi_is_home is False:
+                # The "ABI" sits on a client router: the true segment is one
+                # hop upstream (Fig. 2 bottom row).  The previous hop, when
+                # known, becomes the ABI and the old ABI becomes the CBI.
+                abi_to_cbi += 1
+                prev = record.prev_ips.most_common(1)
+                if prev:
+                    final.add((prev[0][0], abi))
+                else:
+                    final.add((abi, cbi))
+                continue
+            if cbi_is_home is True:
+                # The "CBI" is on an Amazon router (third-party response of
+                # a client-provided provider-side address): the segment
+                # actually starts here.
+                cbi_to_abi += 1
+                final.add((cbi, self._downstream_of(cbi) or cbi))
+                continue
+            expected = annotator.annotate(cbi).asn
+            if (
+                cbi_owner is not None
+                and expected
+                and cbi_owner != expected
+                and cbi_owner not in self.home_asns
+            ):
+                # CBI -> CBI: the interface belongs to a different client.
+                cbi_to_cbi += 1
+            final.add((abi, cbi))
+
+        result = VerificationResult(
+            final_segments=final,
+            abis={a for a, _c in final},
+            cbis={c for _a, c in final},
+            changed_abi_to_cbi=abi_to_cbi,
+            changed_cbi_to_abi=cbi_to_abi,
+            changed_cbi_to_cbi=cbi_to_cbi,
+            ownership=ownership,
+        )
+        return result
+
+    def _downstream_of(self, ip: IPv4) -> Optional[IPv4]:
+        successors = self.observatory.successors.get(ip)
+        if not successors:
+            return None
+        return successors.most_common(1)[0][0]

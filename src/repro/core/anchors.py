@@ -1,0 +1,244 @@
+"""Anchor identification for pinning (§6.1).
+
+Anchors are border interfaces whose metro-level location is known from
+reliable side information.  Four sources are used, in decreasing order of
+confidence:
+
+* **DNS** (CBIs): location hints embedded in reverse-DNS names, subject to
+  an RTT feasibility check (a hint is discarded when the speed of light
+  says the interface cannot be there);
+* **IXP association** (CBIs): addresses inside a single-metro IXP prefix,
+  excluding members that peer remotely (the minIXRTT + 2 ms test);
+* **Single colo/metro footprint** (CBIs): the interface's AS is registered
+  in exactly one metro across PeeringDB facilities and IXPs;
+* **Native Amazon colos** (ABIs): ABIs within 2 ms of a region's VM sit in
+  a native colo of that region's metro.
+
+Anchors that disagree with a second indicator or with their alias set are
+flagged and *excluded* -- the conservatism that buys the paper its 99.3%
+pinning precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.ip import IPv4
+from repro.core.annotate import HopAnnotator
+from repro.core.borders import BorderObservatory
+from repro.core.dnsgeo import DNSGeoParser
+from repro.datasets.ixp import IXPDirectory
+from repro.datasets.peeringdb import PeeringDB
+from repro.measure.dnslookup import ReverseDNS
+from repro.measure.ping import Pinger
+from repro.net.geo import MetroCatalog
+
+#: §6.1: the knee of Fig. 4a -- interfaces within 2 ms of a VM are local.
+NATIVE_RTT_MS = 2.0
+#: §6.1: an IXP member is local when its RTT from minIXRegion is within
+#: 2 ms of the IXP's minimum.
+REMOTE_MEMBER_SLACK_MS = 2.0
+#: Feasibility slack for the DNS RTT-constraint check.
+DNS_RTT_SLACK_MS = 2.0
+
+EVIDENCE_ORDER = ("dns", "ixp", "metro", "native")
+
+
+@dataclass
+class AnchorSet:
+    """Anchors by interface, plus bookkeeping for Table 3 and §6.1."""
+
+    #: ip -> agreed metro code
+    anchors: Dict[IPv4, str] = field(default_factory=dict)
+    #: ip -> evidence kinds that supported it
+    evidence: Dict[IPv4, Set[str]] = field(default_factory=dict)
+    #: interfaces excluded for inconsistent indicators
+    flagged_multi_evidence: Set[IPv4] = field(default_factory=set)
+    flagged_alias: Set[IPv4] = field(default_factory=set)
+    #: DNS hints rejected by the RTT-feasibility check
+    dns_rtt_excluded: int = 0
+    #: IXP member interfaces classified as remote peers
+    remote_ixp_members: int = 0
+    local_ixp_members: int = 0
+    multi_metro_ixp_excluded: int = 0
+
+    def exclusive_counts(self) -> Dict[str, int]:
+        """First-evidence attribution in Table 3's priority order."""
+        counts = {name: 0 for name in EVIDENCE_ORDER}
+        for ip in self.anchors:
+            for name in EVIDENCE_ORDER:
+                if name in self.evidence.get(ip, ()):
+                    counts[name] += 1
+                    break
+        return counts
+
+    def cumulative_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        seen: Set[IPv4] = set()
+        for name in EVIDENCE_ORDER:
+            for ip in self.anchors:
+                if name in self.evidence.get(ip, ()):
+                    seen.add(ip)
+            counts[name] = len(seen)
+        return counts
+
+
+class AnchorBuilder:
+    """Derives the anchor set from measurements and public datasets."""
+
+    def __init__(
+        self,
+        observatory: BorderObservatory,
+        abis: Set[IPv4],
+        cbis: Set[IPv4],
+        pinger: Pinger,
+        rdns: ReverseDNS,
+        parser: DNSGeoParser,
+        ixps: IXPDirectory,
+        peeringdb: PeeringDB,
+        catalog: MetroCatalog,
+        region_metro: Dict[str, str],
+        cloud: str = "amazon",
+    ) -> None:
+        self.observatory = observatory
+        self.abis = abis
+        self.cbis = cbis
+        self.pinger = pinger
+        self.rdns = rdns
+        self.parser = parser
+        self.ixps = ixps
+        self.peeringdb = peeringdb
+        self.catalog = catalog
+        self.region_metro = region_metro
+        self.cloud = cloud
+
+    # ------------------------------------------------------------------
+
+    def build(self, alias_sets: Optional[List[Set[IPv4]]] = None) -> AnchorSet:
+        result = AnchorSet()
+        proposals: Dict[IPv4, List[Tuple[str, str]]] = {}
+
+        def propose(ip: IPv4, metro: str, kind: str) -> None:
+            proposals.setdefault(ip, []).append((metro, kind))
+
+        self._dns_anchors(propose, result)
+        self._ixp_anchors(propose, result)
+        self._footprint_anchors(propose)
+        self._native_anchors(propose)
+
+        # Consistency check 1: multiple indicators must agree.
+        for ip, entries in proposals.items():
+            metros = {m for m, _k in entries}
+            if len(metros) > 1:
+                result.flagged_multi_evidence.add(ip)
+                continue
+            result.anchors[ip] = next(iter(metros))
+            result.evidence[ip] = {k for _m, k in entries}
+
+        # Consistency check 2: alias sets must agree internally.
+        for group in alias_sets or []:
+            metros = {result.anchors[ip] for ip in group if ip in result.anchors}
+            if len(metros) > 1:
+                for ip in group:
+                    if ip in result.anchors:
+                        result.flagged_alias.add(ip)
+                        del result.anchors[ip]
+                        result.evidence.pop(ip, None)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _dns_anchors(self, propose, result: AnchorSet) -> None:
+        for cbi in sorted(self.cbis):
+            hint = self.parser.parse(self.rdns.lookup(cbi))
+            if hint is None:
+                continue
+            if not self._rtt_feasible(cbi, hint.metro_code):
+                result.dns_rtt_excluded += 1
+                continue
+            propose(cbi, hint.metro_code, "dns")
+
+    def _rtt_feasible(self, ip: IPv4, metro_code: str) -> bool:
+        """Can the interface be at ``metro_code`` given measured RTTs?"""
+        closest = self.pinger.closest_region(self.cloud, ip)
+        if closest is None:
+            # No active measurement; fall back to traceroute RTTs.
+            measured = self.observatory.min_rtt_of(ip)
+            if measured is None:
+                return True
+            best_region = min(
+                self.region_metro.values(),
+                key=lambda m: self.catalog.rtt_ms(m, metro_code),
+            )
+            return self.catalog.rtt_ms(best_region, metro_code) <= measured + DNS_RTT_SLACK_MS
+        region, measured = closest
+        predicted = self.catalog.rtt_ms(self.region_metro[region], metro_code)
+        return predicted <= measured + DNS_RTT_SLACK_MS
+
+    # ------------------------------------------------------------------
+
+    def _ixp_anchors(self, propose, result: AnchorSet) -> None:
+        # Group observed IXP CBIs per IXP.
+        by_ixp: Dict[int, List[IPv4]] = {}
+        for cbi in sorted(self.cbis):
+            ixp_id = self.ixps.ixp_of(cbi)
+            if ixp_id is not None:
+                by_ixp.setdefault(ixp_id, []).append(cbi)
+
+        for ixp_id, members in sorted(by_ixp.items()):
+            cities = self.ixps.cities_of(ixp_id)
+            if len(cities) != 1:
+                result.multi_metro_ixp_excluded += len(members)
+                continue
+            metro = cities[0]
+            min_rtt, min_region = self._min_ix_rtt(members)
+            for ip in members:
+                rtt = (
+                    self.pinger.min_rtt(self.cloud, min_region, ip)
+                    if min_region is not None
+                    else None
+                )
+                if min_rtt is not None and rtt is not None:
+                    if rtt > min_rtt + REMOTE_MEMBER_SLACK_MS:
+                        result.remote_ixp_members += 1
+                        continue
+                result.local_ixp_members += 1
+                propose(ip, metro, "ixp")
+
+    def _min_ix_rtt(self, members: List[IPv4]) -> Tuple[Optional[float], Optional[str]]:
+        """minIXRTT and minIXRegion over the IXP's observed interfaces."""
+        best: Optional[float] = None
+        best_region: Optional[str] = None
+        for ip in members:
+            closest = self.pinger.closest_region(self.cloud, ip)
+            if closest is None:
+                continue
+            region, rtt = closest
+            if best is None or rtt < best:
+                best, best_region = rtt, region
+        return best, best_region
+
+    # ------------------------------------------------------------------
+
+    def _footprint_anchors(self, propose) -> None:
+        single = self.peeringdb.single_metro_asns()
+        annotate = self.observatory.annotator.annotate
+        for cbi in sorted(self.cbis):
+            asn = annotate(cbi).asn
+            if not asn:
+                continue
+            metro = single.get(asn)
+            if metro is not None:
+                propose(cbi, metro, "metro")
+
+    # ------------------------------------------------------------------
+
+    def _native_anchors(self, propose) -> None:
+        for abi in sorted(self.abis):
+            closest = self.pinger.closest_region(self.cloud, abi)
+            if closest is None:
+                continue
+            region, rtt = closest
+            if rtt < NATIVE_RTT_MS:
+                propose(abi, self.region_metro[region], "native")

@@ -1,0 +1,138 @@
+"""Hop annotation: ASN, organization, and IXP membership (§3).
+
+Every observed hop address is annotated with
+
+* its origin **ASN** from the round's BGP snapshot, falling back to WHOIS
+  for public-but-unannounced space, and AS0 for private/shared space;
+* its **ORG** from the as2org dataset (so Amazon's eight sibling ASNs
+  collapse into one organization);
+* whether it belongs to an **IXP prefix** (PeeringDB + PCH + CAIDA merge).
+
+Annotation is pure inference-side code: it sees datasets and addresses,
+never the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.asn import AMAZON_ORG_ID, ASN
+from repro.net.ip import IPv4, is_private, is_shared
+from repro.datasets.as2org import AS2Org
+from repro.datasets.bgp import BGPSnapshot
+from repro.datasets.ixp import IXPDirectory
+from repro.datasets.whois import WhoisRegistry
+
+
+class AnnotationSource:
+    """Where the ASN mapping came from (string enum; Table 1 columns)."""
+
+    BGP = "bgp"
+    WHOIS = "whois"
+    IXP = "ixp"
+    PRIVATE = "private"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class HopAnnotation:
+    """Annotation of one hop address."""
+
+    ip: IPv4
+    asn: ASN                  # 0 when unmapped
+    org: Optional[str]        # organization id; None when unmapped
+    is_ixp: bool
+    ixp_id: Optional[int]
+    source: str               # AnnotationSource value
+
+
+class HopAnnotator:
+    """Annotates addresses against one BGP snapshot round."""
+
+    def __init__(
+        self,
+        bgp: BGPSnapshot,
+        whois: WhoisRegistry,
+        as2org: AS2Org,
+        ixps: IXPDirectory,
+        home_org: str = AMAZON_ORG_ID,
+    ) -> None:
+        self.bgp = bgp
+        self.whois = whois
+        self.as2org = as2org
+        self.ixps = ixps
+        self.home_org = home_org
+        self._cache: Dict[IPv4, HopAnnotation] = {}
+
+    def annotate(self, ip: IPv4) -> HopAnnotation:
+        cached = self._cache.get(ip)
+        if cached is not None:
+            return cached
+        ann = self._compute(ip)
+        self._cache[ip] = ann
+        return ann
+
+    def _compute(self, ip: IPv4) -> HopAnnotation:
+        ixp_id = self.ixps.ixp_of(ip)
+        if ixp_id is not None:
+            member = self.ixps.member_asn(ip)
+            asn = member if member is not None else 0
+            org = self._org_of(asn) if asn else f"IXP-{ixp_id}"
+            return HopAnnotation(
+                ip=ip, asn=asn, org=org, is_ixp=True, ixp_id=ixp_id,
+                source=AnnotationSource.IXP,
+            )
+        if is_private(ip) or is_shared(ip):
+            return HopAnnotation(
+                ip=ip, asn=0, org=None, is_ixp=False, ixp_id=None,
+                source=AnnotationSource.PRIVATE,
+            )
+        asn = self.bgp.origin_of(ip)
+        if asn is not None:
+            return HopAnnotation(
+                ip=ip, asn=asn, org=self._org_of(asn), is_ixp=False,
+                ixp_id=None, source=AnnotationSource.BGP,
+            )
+        whois_asn = self.whois.owner_asn(ip)
+        if whois_asn is not None:
+            return HopAnnotation(
+                ip=ip, asn=whois_asn, org=self._org_of(whois_asn),
+                is_ixp=False, ixp_id=None, source=AnnotationSource.WHOIS,
+            )
+        record = self.whois.lookup(ip)
+        if record is not None:
+            # WHOIS knows the holder name but no ASN: still enough to tell
+            # whose network the hop is in (clouds are recognisable by name).
+            from repro.net.asn import CLOUD_ORG_IDS
+
+            org = CLOUD_ORG_IDS.get(record.holder_name, f"WHOIS-{record.holder_name}")
+            return HopAnnotation(
+                ip=ip, asn=0, org=org,
+                is_ixp=False, ixp_id=None, source=AnnotationSource.WHOIS,
+            )
+        return HopAnnotation(
+            ip=ip, asn=0, org=None, is_ixp=False, ixp_id=None,
+            source=AnnotationSource.NONE,
+        )
+
+    def _org_of(self, asn: ASN) -> str:
+        org = self.as2org.org_of(asn)
+        return org if org is not None else f"ORG-AS{asn}"
+
+    # ------------------------------------------------------------------
+
+    def is_home(self, ann: HopAnnotation) -> bool:
+        """Does the hop belong to the home (probing) organization?"""
+        return ann.org == self.home_org
+
+    def is_border_candidate(self, ann: HopAnnotation) -> bool:
+        """§4.1: a hop whose ORG is neither unknown (0) nor the home org.
+
+        IXP addresses always count: they belong to a specific member.
+        """
+        if ann.is_ixp:
+            return True
+        if ann.org is None:
+            return False
+        return ann.org != self.home_org

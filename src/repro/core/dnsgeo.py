@@ -1,0 +1,108 @@
+"""DRoP-style DNS parsing: location hints and VPI vocabulary (§6.1, §7.3).
+
+Operators embed IATA codes and city names in router interface names; this
+parser extracts them against the metro catalog.  It is written against the
+*formats observed in the wild* (hostname.city-token.country.role.domain),
+not against the world's generator, so false hints and unparseable names
+behave like they did for the paper's authors (their RTT-constraint check
+excluded 0.87k CBIs with infeasible hints).
+
+The same names occasionally carry interconnect vocabulary -- ``vlan`` tags
+and Amazon's ``dxvif``/``dxcon``/``awsdx`` terms -- which §7.3 uses as
+evidence that a "physical" private peering is actually a VPI.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.net.geo import MetroCatalog
+
+#: Vocabulary indicating a Direct Connect virtual interface (§7.3).
+VPI_KEYWORD_RE = re.compile(r"(?:^|[.\-])(?:dxvif|dxcon|awsdx|aws-dx)(?:$|[.\-0-9a-f])")
+VLAN_RE = re.compile(r"(?:^|[.\-])vlan(\d{1,4})(?:$|[.\-])")
+
+#: Tokens that look like IATA codes but are common name parts.
+_STOPWORDS: Set[str] = {
+    "net", "com", "org", "bb", "core", "edge", "ae", "ge", "xe", "po",
+    "gw", "rtr", "ip", "vif", "aws", "amazon", "border",
+}
+
+
+@dataclass(frozen=True)
+class DNSGeoHint:
+    """Extracted location hint."""
+
+    metro_code: str
+    matched_token: str
+    kind: str               # "iata" or "city"
+
+
+class DNSGeoParser:
+    """Extracts metro hints from reverse-DNS names."""
+
+    def __init__(self, catalog: MetroCatalog) -> None:
+        self.catalog = catalog
+        self._iata = {m.code.lower(): m.code for m in catalog}
+        self._cities = {
+            m.city.lower().replace(" ", ""): m.code for m in catalog
+        }
+
+    # ------------------------------------------------------------------
+
+    def parse(self, name: Optional[str]) -> Optional[DNSGeoHint]:
+        """The first credible location hint in ``name``, or None."""
+        if not name:
+            return None
+        for token in self._tokens(name):
+            hint = self._match_token(token)
+            if hint is not None:
+                return hint
+        return None
+
+    def _tokens(self, name: str) -> List[str]:
+        # Drop the operator's domain (last two DNS labels) *before*
+        # splitting on separators, so 'nrt-networks.com' never leaks a
+        # fake airport code into the hostname tokens.
+        labels = name.lower().split(".")
+        head = labels[:-2] if len(labels) > 2 else labels[:1]
+        tokens: List[str] = []
+        for label in head:
+            tokens.extend(t for t in re.split(r"[\-_]", label) if t)
+        return [t for t in tokens if t not in _STOPWORDS]
+
+    def _match_token(self, token: str) -> Optional[DNSGeoHint]:
+        stripped = token.rstrip("0123456789")
+        if not stripped:
+            return None
+        # Full city name, possibly with a trailing index digit.
+        city_code = self._cities.get(stripped)
+        if city_code is not None:
+            return DNSGeoHint(metro_code=city_code, matched_token=token, kind="city")
+        # IATA code, optionally followed by a state/country suffix
+        # ("atlnga05" -> atl + nga).
+        if len(stripped) >= 3:
+            code = self._iata.get(stripped[:3])
+            if code is not None and len(stripped) <= 7:
+                return DNSGeoHint(metro_code=code, matched_token=token, kind="iata")
+        return None
+
+
+def has_vpi_keywords(name: Optional[str]) -> bool:
+    """True when the name carries dx/VPI vocabulary (§7.3's evidence)."""
+    if not name:
+        return False
+    return bool(VPI_KEYWORD_RE.search(name.lower()))
+
+
+def has_vlan_tag(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    return bool(VLAN_RE.search(name.lower()))
+
+
+def vpi_evidence(name: Optional[str]) -> bool:
+    """VLAN tag or dx keyword: the §7.3 combined signal."""
+    return has_vlan_tag(name) or has_vpi_keywords(name)

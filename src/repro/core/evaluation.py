@@ -1,0 +1,166 @@
+"""Ground-truth evaluation of the inference pipeline.
+
+The paper could not validate against ground truth (§9: Amazon publishes
+none).  The simulator *has* ground truth, so this module answers the
+questions the authors could not: how many true borders did the method
+find, how accurate are the pinned locations, and how far below the truth
+is the VPI lower bound.  Nothing here feeds back into inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.net.ip import IPv4
+from repro.core.results import StudyResult
+from repro.world.model import World
+
+
+@dataclass
+class BorderEvaluation:
+    """Precision/recall of inferred ABIs and CBIs against the world."""
+
+    abi_precision: float = 0.0
+    abi_recall: float = 0.0
+    cbi_precision: float = 0.0
+    cbi_recall: float = 0.0
+    #: CBIs the method found that are real router interfaces of the peer
+    #: but not interconnect ports (loopbacks, internal links).
+    cbi_near_misses: int = 0
+
+
+@dataclass
+class PinningEvaluation:
+    """Accuracy of metro pins against true router locations."""
+
+    evaluated: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.evaluated if self.evaluated else 0.0
+
+
+@dataclass
+class VPIEvaluation:
+    """How tight is the §7.1 lower bound."""
+
+    true_vpi_cbis: int = 0
+    detectable_vpi_cbis: int = 0      # multi-cloud, shared response
+    detected: int = 0
+    detected_true: int = 0
+
+    @property
+    def recall_of_detectable(self) -> float:
+        if not self.detectable_vpi_cbis:
+            return 0.0
+        return self.detected_true / self.detectable_vpi_cbis
+
+    @property
+    def precision(self) -> float:
+        return self.detected_true / self.detected if self.detected else 0.0
+
+    @property
+    def lower_bound_tightness(self) -> float:
+        """Detected true VPIs over ALL true VPI ports (the undercount)."""
+        if not self.true_vpi_cbis:
+            return 0.0
+        return self.detected_true / self.true_vpi_cbis
+
+
+@dataclass
+class StudyEvaluation:
+    borders: BorderEvaluation = field(default_factory=BorderEvaluation)
+    pinning: PinningEvaluation = field(default_factory=PinningEvaluation)
+    vpi: VPIEvaluation = field(default_factory=VPIEvaluation)
+    #: interconnections that exist but were never observed (private VPIs,
+    #: backups the expansion missed, unresponsive routers)
+    unobserved_interconnections: int = 0
+    private_vpi_interconnections: int = 0
+
+
+def _true_abi_interfaces(world: World) -> Set[IPv4]:
+    """Every Amazon-side interface a probe could legitimately surface."""
+    out: Set[IPv4] = set()
+    for icx in world.interconnections.values():
+        if icx.uses_private_addresses:
+            continue
+        out.add(icx.abi_ip)
+        out.update(icx.abi_ecmp)
+        bb = world.router_backbone_iface.get(icx.abi_router_id)
+        if bb is not None:
+            out.add(bb)
+    return out
+
+
+def evaluate_study(world: World, result: StudyResult) -> StudyEvaluation:
+    """Score the study's output against the world's ground truth."""
+    ev = StudyEvaluation()
+
+    # Borders ------------------------------------------------------------
+    true_abis = _true_abi_interfaces(world)
+    true_cbis = {
+        icx.cbi_ip
+        for icx in world.interconnections.values()
+        if not icx.uses_private_addresses
+    }
+    inferred_abis, inferred_cbis = result.abis, result.cbis
+    client_ifaces = {
+        ip
+        for ip, iface in world.interfaces.items()
+        if world.routers[iface.router_id].owner_asn in world.client_ases
+    }
+    if inferred_abis:
+        ev.borders.abi_precision = len(inferred_abis & true_abis) / len(inferred_abis)
+    if true_abis:
+        observed_true = {a for a in true_abis if a in result.abis}
+        ev.borders.abi_recall = len(observed_true) / len(true_abis)
+    if inferred_cbis:
+        ev.borders.cbi_precision = len(inferred_cbis & true_cbis) / len(inferred_cbis)
+        ev.borders.cbi_near_misses = len(
+            (inferred_cbis - true_cbis) & client_ifaces
+        )
+    if true_cbis:
+        ev.borders.cbi_recall = len(inferred_cbis & true_cbis) / len(true_cbis)
+
+    # Pinning --------------------------------------------------------------
+    if result.pinning is not None:
+        for ip, loc in result.pinning.pinned.items():
+            true_metro = world.true_metro_of_interface(ip)
+            if true_metro is None:
+                continue
+            ev.pinning.evaluated += 1
+            if loc.metro_code == true_metro:
+                ev.pinning.correct += 1
+
+    # VPIs ------------------------------------------------------------------
+    detectable: Set[IPv4] = set()
+    true_vpis: Set[IPv4] = set()
+    for icx in world.interconnections.values():
+        if not icx.is_virtual or icx.uses_private_addresses:
+            continue
+        true_vpis.add(icx.cbi_ip)
+        iface = world.interfaces.get(icx.cbi_ip)
+        if (
+            iface is not None
+            and iface.shared_port_response
+            and len(icx.vpi_clouds) > 1
+        ):
+            detectable.add(icx.cbi_ip)
+    ev.vpi.true_vpi_cbis = len(true_vpis)
+    ev.vpi.detectable_vpi_cbis = len(detectable)
+    if result.vpi is not None:
+        detected = result.vpi.vpi_cbis
+        ev.vpi.detected = len(detected)
+        ev.vpi.detected_true = len(detected & true_vpis)
+
+    # Coverage of the fabric ---------------------------------------------------
+    observed_cbis = result.cbis
+    for icx in world.interconnections.values():
+        if icx.uses_private_addresses:
+            ev.private_vpi_interconnections += 1
+            ev.unobserved_interconnections += 1
+        elif icx.cbi_ip not in observed_cbis:
+            ev.unobserved_interconnections += 1
+    return ev

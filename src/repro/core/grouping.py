@@ -1,0 +1,242 @@
+"""Grouping Amazon's inferred peerings by their key attributes (§7.2-7.3).
+
+Each inferred interconnection segment gets three attributes:
+
+* **public/private** -- is the CBI inside an IXP prefix;
+* **BGP-visible** -- does the Amazon<->peer AS link appear in the public
+  relationship data;
+* **virtual/physical** -- was the CBI identified as a VPI port (§7.1;
+  private peerings only).
+
+The six resulting groups (Table 5), the hybrid-peering census over exact
+type combinations (Table 6), the hidden-peering share, and the per-group
+feature distributions of Fig. 6 are all computed here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4
+from repro.core.borders import BorderObservatory
+from repro.datasets.relationships import ASRelationships
+from repro.world.profiles import (
+    ALL_GROUPS,
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+)
+
+#: Groups hidden from conventional measurement (§7.2 "Hidden Peerings"):
+#: virtual peerings plus private peerings absent from BGP.  (§7.2's prose
+#: also lists Pb-nB, but the paper's 33.29% figure matches the AS share of
+#: these three groups; public peerings are at least visible at IXPs.)
+HIDDEN_GROUPS = (PR_NB_V, PR_NB_NV, PR_B_V)
+
+
+@dataclass
+class PeeringRecord:
+    """One inferred (peer AS, group) peering with its interfaces."""
+
+    peer_asn: ASN
+    group: str
+    cbis: Set[IPv4] = field(default_factory=set)
+    abis: Set[IPv4] = field(default_factory=set)
+    reachable_slash24s: Set[int] = field(default_factory=set)
+    rtt_diffs: List[float] = field(default_factory=list)
+    metros: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class GroupingResult:
+    """Table 5/6 style views over the peering records."""
+
+    #: (peer_asn, group) -> record
+    records: Dict[Tuple[ASN, str], PeeringRecord] = field(default_factory=dict)
+    #: peer_asn -> set of groups (hybrid profile)
+    profiles: Dict[ASN, FrozenSet[str]] = field(default_factory=dict)
+
+    # -- Table 5 -----------------------------------------------------------
+
+    def ases_in_group(self, group: str) -> Set[ASN]:
+        return {asn for (asn, g) in self.records if g == group}
+
+    def cbis_in_group(self, group: str) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for (asn, g), rec in self.records.items():
+            if g == group:
+                out.update(rec.cbis)
+        return out
+
+    def abis_in_group(self, group: str) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for (asn, g), rec in self.records.items():
+            if g == group:
+                out.update(rec.abis)
+        return out
+
+    def all_ases(self) -> Set[ASN]:
+        return set(self.profiles)
+
+    def all_cbis(self) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for rec in self.records.values():
+            out.update(rec.cbis)
+        return out
+
+    def all_abis(self) -> Set[IPv4]:
+        out: Set[IPv4] = set()
+        for rec in self.records.values():
+            out.update(rec.abis)
+        return out
+
+    # -- Table 6 -----------------------------------------------------------
+
+    def hybrid_census(self) -> Dict[FrozenSet[str], int]:
+        census: Counter = Counter()
+        for profile in self.profiles.values():
+            census[profile] += 1
+        return dict(census)
+
+    # -- §7.2 hidden share ---------------------------------------------------
+
+    def hidden_fraction(self) -> float:
+        """Share of peer ASes with at least one hidden peering (§7.2)."""
+        total = len(self.profiles)
+        if not total:
+            return 0.0
+        hidden = sum(
+            1
+            for profile in self.profiles.values()
+            if profile & set(HIDDEN_GROUPS)
+        )
+        return hidden / total
+
+    # -- Fig. 6 features -------------------------------------------------------
+
+    def group_features(
+        self, relationships: ASRelationships
+    ) -> Dict[str, Dict[str, List[float]]]:
+        """Per-group feature samples: one value per (AS, group) record."""
+        features: Dict[str, Dict[str, List[float]]] = {
+            g: {
+                "bgp_slash24": [],
+                "reachable_slash24": [],
+                "abis": [],
+                "cbis": [],
+                "rtt_diff": [],
+                "metros": [],
+            }
+            for g in ALL_GROUPS
+        }
+        for (asn, group), rec in self.records.items():
+            bucket = features[group]
+            bucket["bgp_slash24"].append(float(relationships.cone_slash24(asn)))
+            bucket["reachable_slash24"].append(float(len(rec.reachable_slash24s)))
+            bucket["abis"].append(float(len(rec.abis)))
+            bucket["cbis"].append(float(len(rec.cbis)))
+            bucket["rtt_diff"].extend(rec.rtt_diffs)
+            bucket["metros"].append(float(len(rec.metros)))
+        return features
+
+
+def classify_group(is_public: bool, in_bgp: bool, is_virtual: bool) -> str:
+    """Map the three §7.2 attributes to a Table 5 label."""
+    if is_public:
+        return PB_B if in_bgp else PB_NB
+    if in_bgp:
+        return PR_B_V if is_virtual else PR_B_NV
+    return PR_NB_V if is_virtual else PR_NB_NV
+
+
+class PeeringGrouper:
+    """Builds peering records from the verified segments."""
+
+    def __init__(
+        self,
+        observatory: BorderObservatory,
+        relationships: ASRelationships,
+        vpi_cbis: Set[IPv4],
+        router_owner: Optional[Dict[IPv4, ASN]] = None,
+        home_asns: Optional[Set[ASN]] = None,
+    ) -> None:
+        self.observatory = observatory
+        self.relationships = relationships
+        self.vpi_cbis = set(vpi_cbis)
+        self.router_owner = router_owner or {}
+        self.home_asns = home_asns or set()
+
+    # ------------------------------------------------------------------
+
+    def peer_asn_of(self, cbi: IPv4) -> Optional[ASN]:
+        """The peer AS behind a CBI.
+
+        Preference order: the alias-resolved router owner (it survives the
+        Fig. 2 address-sharing case), then the address's own annotation,
+        then the dominant successor's AS.
+        """
+        owner = self.router_owner.get(cbi)
+        if owner is not None and owner not in self.home_asns and owner != 0:
+            return owner
+        ann = self.observatory.annotator.annotate(cbi)
+        if ann.asn and ann.asn not in self.home_asns:
+            return ann.asn
+        successors = self.observatory.successors.get(cbi)
+        if successors:
+            for nxt, _count in successors.most_common():
+                nxt_ann = self.observatory.annotator.annotate(nxt)
+                if nxt_ann.asn and nxt_ann.asn not in self.home_asns:
+                    return nxt_ann.asn
+        return None
+
+    # ------------------------------------------------------------------
+
+    def group(
+        self,
+        segments: Iterable[Tuple[IPv4, IPv4]],
+        amazon_bgp_peers: Set[ASN],
+        pinned_metro: Optional[Dict[IPv4, str]] = None,
+        rtt_diff: Optional[Dict[Tuple[IPv4, IPv4], float]] = None,
+    ) -> GroupingResult:
+        result = GroupingResult()
+        annotate = self.observatory.annotator.annotate
+        pinned_metro = pinned_metro or {}
+        rtt_diff = rtt_diff or {}
+
+        for abi, cbi in sorted(segments):
+            peer = self.peer_asn_of(cbi)
+            if peer is None:
+                continue
+            ann = annotate(cbi)
+            is_public = ann.is_ixp
+            in_bgp = peer in amazon_bgp_peers
+            is_virtual = (not is_public) and cbi in self.vpi_cbis
+            label = classify_group(is_public, in_bgp, is_virtual)
+
+            key = (peer, label)
+            rec = result.records.get(key)
+            if rec is None:
+                rec = PeeringRecord(peer_asn=peer, group=label)
+                result.records[key] = rec
+            rec.cbis.add(cbi)
+            rec.abis.add(abi)
+            seg_rec = self.observatory.segments.get((abi, cbi))
+            if seg_rec is not None:
+                rec.reachable_slash24s.update(seg_rec.dst_slash24s)
+            diff = rtt_diff.get((abi, cbi))
+            if diff is not None:
+                rec.rtt_diffs.append(diff)
+            metro = pinned_metro.get(cbi)
+            if metro is not None:
+                rec.metros.add(metro)
+
+        for (asn, g) in result.records:
+            old = result.profiles.get(asn, frozenset())
+            result.profiles[asn] = old | {g}
+        return result

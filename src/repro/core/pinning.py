@@ -1,0 +1,197 @@
+"""Iterative pinning of border interfaces (§6.1) and its regional fallback.
+
+Starting from the anchor set, two co-presence rules propagate locations:
+
+* **Rule 1 (alias sets)**: all interfaces of one router share a facility,
+  so one pinned member pins the whole set;
+* **Rule 2 (short interconnection segments)**: a segment whose two ends
+  are within 2 ms of each other (min-RTT difference from the same closest
+  VM) lies inside one metro, so one pinned end pins the other.
+
+Propagation is conservative: an interface is pinned only when every pinned
+neighbour agrees on the metro; conflicts are counted and skipped.  The
+process runs to a fixpoint (the paper needed four rounds).
+
+Interfaces still unpinned afterwards get the coarser *regional* treatment
+of §6.1/Fig. 5: visible from a single region -> that region; ratio of the
+two lowest region RTTs above 1.5 -> the closest region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.ip import IPv4
+from repro.measure.ping import Pinger
+
+#: Rule 2 threshold: the knee of Fig. 4b.
+SHORT_SEGMENT_MS = 2.0
+#: Fig. 5 threshold for regional assignment.
+REGION_RTT_RATIO = 1.5
+
+
+@dataclass(frozen=True)
+class PinnedLocation:
+    metro_code: str
+    evidence: str            # "anchor" | "alias" | "rtt"
+    round_index: int
+
+
+@dataclass
+class RegionalAssignment:
+    region: str
+    reason: str              # "single_region" | "rtt_ratio"
+    ratio: Optional[float] = None
+
+
+@dataclass
+class PinningResult:
+    """Everything §6 reports: metro pins, conflicts, regional fallback."""
+
+    pinned: Dict[IPv4, PinnedLocation] = field(default_factory=dict)
+    conflicts: Set[IPv4] = field(default_factory=set)
+    rounds: int = 0
+    pinned_by_alias: Set[IPv4] = field(default_factory=set)
+    pinned_by_rtt: Set[IPv4] = field(default_factory=set)
+    regional: Dict[IPv4, RegionalAssignment] = field(default_factory=dict)
+    #: min-RTT ratios of unpinned multi-region interfaces (Fig. 5 series)
+    rtt_ratios: List[float] = field(default_factory=list)
+
+    def metro_of(self, ip: IPv4) -> Optional[str]:
+        loc = self.pinned.get(ip)
+        return loc.metro_code if loc else None
+
+    def coverage(self, universe: Iterable[IPv4]) -> float:
+        ips = list(universe)
+        if not ips:
+            return 0.0
+        return sum(1 for ip in ips if ip in self.pinned) / len(ips)
+
+
+class IterativePinner:
+    """Runs anchor propagation over alias sets and short segments."""
+
+    def __init__(
+        self,
+        anchors: Dict[IPv4, str],
+        alias_sets: List[Set[IPv4]],
+        segments: Iterable[Tuple[IPv4, IPv4]],
+        segment_rtt_diff: Dict[Tuple[IPv4, IPv4], float],
+        threshold_ms: float = SHORT_SEGMENT_MS,
+    ) -> None:
+        self.anchors = dict(anchors)
+        self.alias_sets = [set(g) for g in alias_sets]
+        self.segments = list(segments)
+        self.segment_rtt_diff = dict(segment_rtt_diff)
+        self.threshold_ms = threshold_ms
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> PinningResult:
+        result = PinningResult()
+        for ip, metro in self.anchors.items():
+            result.pinned[ip] = PinnedLocation(metro, "anchor", 0)
+
+        short_segments = [
+            seg
+            for seg in self.segments
+            if self.segment_rtt_diff.get(seg, float("inf")) < self.threshold_ms
+        ]
+
+        round_index = 0
+        changed = True
+        while changed:
+            changed = False
+            round_index += 1
+
+            # Rule 1: alias sets.
+            for group in self.alias_sets:
+                metros = {
+                    result.pinned[ip].metro_code for ip in group if ip in result.pinned
+                }
+                if len(metros) != 1:
+                    if len(metros) > 1:
+                        for ip in group:
+                            if ip not in result.pinned:
+                                result.conflicts.add(ip)
+                    continue
+                metro = next(iter(metros))
+                for ip in group:
+                    if ip not in result.pinned and ip not in result.conflicts:
+                        result.pinned[ip] = PinnedLocation(metro, "alias", round_index)
+                        result.pinned_by_alias.add(ip)
+                        changed = True
+
+            # Rule 2: short interconnection segments.
+            for a, b in short_segments:
+                loc_a, loc_b = result.pinned.get(a), result.pinned.get(b)
+                if loc_a is None and loc_b is None:
+                    continue
+                if loc_a is not None and loc_b is not None:
+                    continue
+                known, unknown = (loc_a, b) if loc_a is not None else (loc_b, a)
+                if unknown in result.conflicts:
+                    continue
+                # Unanimity: every pinned counterpart of `unknown` across
+                # short segments must agree.
+                suggestions = self._suggestions(unknown, short_segments, result)
+                if len(suggestions) > 1:
+                    result.conflicts.add(unknown)
+                    continue
+                result.pinned[unknown] = PinnedLocation(
+                    known.metro_code, "rtt", round_index
+                )
+                result.pinned_by_rtt.add(unknown)
+                changed = True
+
+        result.rounds = round_index
+        return result
+
+    def _suggestions(
+        self,
+        ip: IPv4,
+        short_segments: List[Tuple[IPv4, IPv4]],
+        result: PinningResult,
+    ) -> Set[str]:
+        metros: Set[str] = set()
+        for a, b in short_segments:
+            other: Optional[IPv4] = None
+            if a == ip:
+                other = b
+            elif b == ip:
+                other = a
+            if other is None:
+                continue
+            loc = result.pinned.get(other)
+            if loc is not None:
+                metros.add(loc.metro_code)
+        return metros
+
+
+def regional_fallback(
+    result: PinningResult,
+    unpinned: Iterable[IPv4],
+    pinger: Pinger,
+    cloud: str = "amazon",
+    ratio_threshold: float = REGION_RTT_RATIO,
+) -> None:
+    """§6.1's coarser pass: assign unpinned interfaces to a region."""
+    for ip in sorted(set(unpinned)):
+        if ip in result.pinned:
+            continue
+        ranked = pinger.two_lowest(cloud, ip)
+        if not ranked:
+            continue
+        if len(ranked) == 1:
+            result.regional[ip] = RegionalAssignment(
+                region=ranked[0][0], reason="single_region"
+            )
+            continue
+        (r1, rtt1), (_r2, rtt2) = ranked
+        ratio = rtt2 / rtt1 if rtt1 > 0 else float("inf")
+        result.rtt_ratios.append(ratio)
+        if ratio > ratio_threshold:
+            result.regional[ip] = RegionalAssignment(
+                region=r1, reason="rtt_ratio", ratio=ratio
+            )

@@ -1,0 +1,299 @@
+"""End-to-end study driver: §3 through §7 in one call.
+
+``AmazonPeeringStudy(world).run()`` executes the full methodology --
+sweep, expansion, heuristics, alias verification, pinning,
+cross-validation, VPI detection, grouping, and graph characterisation --
+and returns a :class:`StudyResult` from which every table and figure of
+the paper can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.net.asn import AMAZON_ASNS, CLOUD_ORG_IDS
+from repro.net.ip import IPv4
+from repro.core.aliasverify import AliasVerifier
+from repro.core.anchors import AnchorBuilder
+from repro.core.annotate import AnnotationSource, HopAnnotator
+from repro.core.borders import BorderObservatory
+from repro.core.crossval import cross_validate_pinning
+from repro.core.dnsgeo import DNSGeoParser
+from repro.core.graph import InterfaceConnectivityGraph
+from repro.core.grouping import PeeringGrouper
+from repro.core.heuristics import SegmentVerifier
+from repro.core.pinning import IterativePinner, regional_fallback
+from repro.core.results import InterfaceCensus, StudyResult
+from repro.core.vpi import VPIDetector
+from repro.datasets import (
+    as2org_from_world,
+    ixp_directory_from_world,
+    peeringdb_from_world,
+    relationships_from_world,
+    snapshot_from_world,
+)
+from repro.datasets.whois import WhoisRegistry
+from repro.measure.alias import AliasResolver
+from repro.measure.campaign import ProbeCampaign
+from repro.measure.dnslookup import ReverseDNS
+from repro.measure.ping import Pinger
+from repro.measure.reachability import PublicVantagePoint
+from repro.measure.traceroute import TracerouteEngine
+from repro.world.model import World
+
+
+class AmazonPeeringStudy:
+    """Runs the paper's full measurement study against a world."""
+
+    def __init__(
+        self,
+        world: World,
+        seed: int = 0,
+        expansion_stride: int = 1,
+        crossval_folds: int = 10,
+        run_vpi: bool = True,
+        run_crossval: bool = True,
+    ) -> None:
+        self.world = world
+        self.seed = seed
+        self.expansion_stride = expansion_stride
+        self.crossval_folds = crossval_folds
+        self.run_vpi = run_vpi
+        self.run_crossval = run_crossval
+
+        # Public datasets.
+        self.whois = WhoisRegistry(world, seed=seed)
+        self.as2org = as2org_from_world(world, seed=seed)
+        self.peeringdb = peeringdb_from_world(world, seed=seed)
+        self.ixps = ixp_directory_from_world(world, self.peeringdb, seed=seed)
+        self.relationships = relationships_from_world(world)
+        self.bgp_r1 = snapshot_from_world(world, "r1")
+        self.bgp_r2 = snapshot_from_world(world, "r2")
+
+        # Measurement plane.
+        self.engine = TracerouteEngine(world, seed=seed)
+        self.pinger = Pinger(world, seed=seed)
+        self.public_vp = PublicVantagePoint(world, seed=seed)
+        self.rdns = ReverseDNS(world)
+        self.alias_resolver = AliasResolver(world, seed=seed)
+
+        # Annotators per round and per probing cloud.
+        self.annotator_r1 = HopAnnotator(self.bgp_r1, self.whois, self.as2org, self.ixps)
+        self.annotator_r2 = HopAnnotator(self.bgp_r2, self.whois, self.as2org, self.ixps)
+        self.cloud_annotators: Dict[str, HopAnnotator] = {
+            cloud: HopAnnotator(
+                self.bgp_r2, self.whois, self.as2org, self.ixps, home_org=org
+            )
+            for cloud, org in CLOUD_ORG_IDS.items()
+            if cloud != "amazon"
+        }
+
+        self.observatory = BorderObservatory(self.annotator_r1)
+        self.region_metro = {
+            name: rt.metro_code for name, rt in world.regions["amazon"].items()
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        result = StudyResult(seed=self.seed, scale=self.world.config.scale)
+        timers = result.runtime_seconds
+
+        # §3-§4.1: round-1 sweep.
+        t0 = time.time()
+        campaign = ProbeCampaign(self.world, self.engine)
+        result.round1_stats = campaign.run_round1(self.observatory.ingest)
+        timers["round1"] = time.time() - t0
+
+        r1_abis = self.observatory.candidate_abis()
+        r1_cbis = self.observatory.candidate_cbis()
+        result.table1.append(self._census("ABI", r1_abis, self.annotator_r1))
+        result.table1.append(self._census("CBI", r1_cbis, self.annotator_r1))
+        result.peer_ases_round1 = len(self._peer_ases(r1_cbis, self.annotator_r1))
+
+        # §4.2: expansion probing under the round-2 snapshot.
+        t0 = time.time()
+        self.observatory.start_round("r2", self.annotator_r2)
+        result.round2_stats = campaign.run_expansion(
+            r1_cbis, self.observatory.ingest, stride=self.expansion_stride
+        )
+        timers["round2"] = time.time() - t0
+
+        e_abis = self.observatory.candidate_abis()
+        e_cbis = self.observatory.candidate_cbis()
+        result.table1.append(self._census("eABI", e_abis, self.annotator_r2))
+        result.table1.append(self._census("eCBI", e_cbis, self.annotator_r2))
+        result.peer_ases_round2 = len(self._peer_ases(e_cbis, self.annotator_r2))
+
+        # §5.1: heuristics.
+        t0 = time.time()
+        verifier = SegmentVerifier(self.observatory, self.public_vp)
+        result.heuristics = verifier.verify()
+        timers["heuristics"] = time.time() - t0
+
+        # §5.2: alias resolution and ownership verification.
+        t0 = time.time()
+        candidates = sorted(e_abis | e_cbis)
+        result.alias_sets = self.alias_resolver.resolve(candidates)
+        alias_verifier = AliasVerifier(self.observatory, set(AMAZON_ASNS))
+        result.verification = alias_verifier.verify(result.alias_sets)
+        result.final_segments = result.verification.final_segments
+        result.abis = result.verification.abis
+        result.cbis = result.verification.cbis
+        timers["alias"] = time.time() - t0
+
+        # §6: RTT data, anchors, iterative pinning, regional fallback.
+        t0 = time.time()
+        result.abi_min_rtts = self._abi_min_rtts(result.abis)
+        result.segment_rtt_diff = self._segment_rtt_diffs(result.final_segments)
+        parser = DNSGeoParser(self.world.catalog)
+        anchor_builder = AnchorBuilder(
+            observatory=self.observatory,
+            abis=result.abis,
+            cbis=result.cbis,
+            pinger=self.pinger,
+            rdns=self.rdns,
+            parser=parser,
+            ixps=self.ixps,
+            peeringdb=self.peeringdb,
+            catalog=self.world.catalog,
+            region_metro=self.region_metro,
+        )
+        result.anchors = anchor_builder.build(result.alias_sets)
+        pinner = IterativePinner(
+            result.anchors.anchors,
+            result.alias_sets,
+            result.final_segments,
+            result.segment_rtt_diff,
+        )
+        result.pinning = pinner.run()
+        regional_fallback(
+            result.pinning, result.abis | result.cbis, self.pinger
+        )
+        timers["pinning"] = time.time() - t0
+
+        # §6.2: stratified cross-validation.
+        if self.run_crossval:
+            t0 = time.time()
+            result.crossval = cross_validate_pinning(
+                result.anchors.anchors,
+                result.alias_sets,
+                result.final_segments,
+                result.segment_rtt_diff,
+                folds=self.crossval_folds,
+                seed=self.seed,
+            )
+            timers["crossval"] = time.time() - t0
+
+        # §7.1: VPI detection from the other clouds.
+        vpi_cbis: Set[IPv4] = set()
+        if self.run_vpi:
+            t0 = time.time()
+            detector = VPIDetector(self.world, self.cloud_annotators, self.engine)
+            ixp_cbis = {
+                cbi for cbi in result.cbis if self.annotator_r2.annotate(cbi).is_ixp
+            }
+            result.vpi = detector.detect(
+                result.cbis, ixp_cbis, self.observatory.discovery_dsts()
+            )
+            vpi_cbis = result.vpi.vpi_cbis
+            timers["vpi"] = time.time() - t0
+
+        # §7.2-§7.3: grouping.
+        t0 = time.time()
+        router_owner = (
+            result.verification.ownership.owner_of_ip()
+            if result.verification and result.verification.ownership
+            else {}
+        )
+        grouper = PeeringGrouper(
+            self.observatory,
+            self.relationships,
+            vpi_cbis,
+            router_owner=router_owner,
+            home_asns=set(AMAZON_ASNS),
+        )
+        amazon_bgp_peers = self.relationships.amazon_links()
+        pinned_metros = {
+            ip: loc.metro_code for ip, loc in result.pinning.pinned.items()
+        }
+        result.grouping = grouper.group(
+            result.final_segments,
+            amazon_bgp_peers,
+            pinned_metro=pinned_metros,
+            rtt_diff=result.segment_rtt_diff,
+        )
+        result.bgp_visible_peers = amazon_bgp_peers
+        result.recovered_bgp_peers = amazon_bgp_peers & result.grouping.all_ases()
+        timers["grouping"] = time.time() - t0
+
+        # §7.4: the ICG.
+        t0 = time.time()
+        icg = InterfaceConnectivityGraph(result.final_segments, result.segment_rtt_diff)
+        result.icg = icg.summarize(
+            pinned_metro=pinned_metros,
+            catalog=self.world.catalog,
+            region_metros=sorted(self.region_metro.values()),
+        )
+        timers["icg"] = time.time() - t0
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _census(
+        self, label: str, ips: Set[IPv4], annotator: HopAnnotator
+    ) -> InterfaceCensus:
+        """A Table 1 row: counts plus BGP/WHOIS/IXP source fractions."""
+        total = len(ips)
+        if not total:
+            return InterfaceCensus(label, 0, 0.0, 0.0, 0.0)
+        bgp = whois = ixp = 0
+        for ip in ips:
+            ann = annotator.annotate(ip)
+            if ann.is_ixp:
+                ixp += 1
+            elif ann.source == AnnotationSource.BGP:
+                bgp += 1
+            elif ann.source == AnnotationSource.WHOIS:
+                whois += 1
+        return InterfaceCensus(
+            label=label,
+            total=total,
+            bgp_fraction=bgp / total,
+            whois_fraction=whois / total,
+            ixp_fraction=ixp / total,
+        )
+
+    def _peer_ases(self, cbis: Set[IPv4], annotator: HopAnnotator) -> Set[int]:
+        peers: Set[int] = set()
+        for cbi in cbis:
+            ann = annotator.annotate(cbi)
+            if ann.asn and ann.asn not in AMAZON_ASNS:
+                peers.add(ann.asn)
+        return peers
+
+    def _abi_min_rtts(self, abis: Set[IPv4]) -> List[float]:
+        """Fig. 4a series: min-RTT from the closest region per ABI."""
+        rtts: List[float] = []
+        for abi in sorted(abis):
+            closest = self.pinger.closest_region("amazon", abi)
+            if closest is not None:
+                rtts.append(closest[1])
+        return rtts
+
+    def _segment_rtt_diffs(
+        self, segments: Iterable[Tuple[IPv4, IPv4]]
+    ) -> Dict[Tuple[IPv4, IPv4], float]:
+        """Fig. 4b data: |rtt(cbi) - rtt(abi)| from the ABI's closest VM."""
+        diffs: Dict[Tuple[IPv4, IPv4], float] = {}
+        for abi, cbi in sorted(segments):
+            closest = self.pinger.closest_region("amazon", abi)
+            if closest is None:
+                continue
+            region, abi_rtt = closest
+            cbi_rtt = self.pinger.min_rtt("amazon", region, cbi)
+            if cbi_rtt is None:
+                continue
+            diffs[(abi, cbi)] = abs(cbi_rtt - abi_rtt)
+        return diffs

@@ -1,0 +1,98 @@
+"""Typed result containers for the end-to-end study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.ip import IPv4
+from repro.core.aliasverify import VerificationResult
+from repro.core.anchors import AnchorSet
+from repro.core.crossval import CrossValidationResult
+from repro.core.graph import ICGSummary
+from repro.core.grouping import GroupingResult
+from repro.core.heuristics import HeuristicOutcome
+from repro.core.pinning import PinningResult
+from repro.core.vpi import VPIDetectionResult
+from repro.measure.campaign import CampaignStats
+
+
+@dataclass
+class InterfaceCensus:
+    """One row of Table 1: interface counts and annotation-source mix."""
+
+    label: str
+    total: int
+    bgp_fraction: float
+    whois_fraction: float
+    ixp_fraction: float
+
+
+@dataclass
+class StudyResult:
+    """Everything the paper's evaluation reports, in one place."""
+
+    # §3 / §4: campaigns and the Table 1 censuses.
+    round1_stats: Optional[CampaignStats] = None
+    round2_stats: Optional[CampaignStats] = None
+    table1: List[InterfaceCensus] = field(default_factory=list)
+    peer_ases_round1: int = 0
+    peer_ases_round2: int = 0
+
+    # §5: verification.
+    heuristics: Optional[HeuristicOutcome] = None
+    alias_sets: List[Set[IPv4]] = field(default_factory=list)
+    verification: Optional[VerificationResult] = None
+    final_segments: Set[Tuple[IPv4, IPv4]] = field(default_factory=set)
+    abis: Set[IPv4] = field(default_factory=set)
+    cbis: Set[IPv4] = field(default_factory=set)
+
+    # §6: pinning.
+    anchors: Optional[AnchorSet] = None
+    pinning: Optional[PinningResult] = None
+    crossval: Optional[CrossValidationResult] = None
+    #: Fig. 4a series: min-RTT from the closest region to each ABI.
+    abi_min_rtts: List[float] = field(default_factory=list)
+    #: Fig. 4b series: min-RTT difference across each segment.
+    segment_rtt_diff: Dict[Tuple[IPv4, IPv4], float] = field(default_factory=dict)
+
+    # §7: the peering fabric.
+    vpi: Optional[VPIDetectionResult] = None
+    grouping: Optional[GroupingResult] = None
+    icg: Optional[ICGSummary] = None
+    bgp_visible_peers: Set[int] = field(default_factory=set)
+    recovered_bgp_peers: Set[int] = field(default_factory=set)
+
+    # Provenance.
+    seed: int = 0
+    scale: float = 0.0
+    runtime_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def metro_pin_coverage(self) -> float:
+        universe = self.abis | self.cbis
+        if not universe or self.pinning is None:
+            return 0.0
+        return self.pinning.coverage(universe)
+
+    @property
+    def total_pin_coverage(self) -> float:
+        """Metro plus regional-level coverage (§6.1's ~80%)."""
+        universe = self.abis | self.cbis
+        if not universe or self.pinning is None:
+            return 0.0
+        covered = sum(
+            1
+            for ip in universe
+            if ip in self.pinning.pinned or ip in self.pinning.regional
+        )
+        return covered / len(universe)
+
+    @property
+    def bgp_recovery_fraction(self) -> float:
+        """Share of BGP-reported Amazon peers our method also found (§7.3)."""
+        if not self.bgp_visible_peers:
+            return 0.0
+        return len(self.recovered_bgp_peers) / len(self.bgp_visible_peers)

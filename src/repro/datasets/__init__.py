@@ -1,0 +1,43 @@
+"""Public-data substrates: BGP, WHOIS, as2org, PeeringDB, merged IXP view.
+
+Each dataset is derived from the world with realistic coverage gaps, the
+way the real datasets lag the real Internet.  Inference code consumes
+these, never the world's ground truth.
+"""
+
+from repro.datasets.as2org import AS2Org, as2org_from_world
+from repro.datasets.bgp import Announcement, BGPSnapshot, snapshot_from_world
+from repro.datasets.ixp import IXPDirectory, ixp_directory_from_world
+from repro.datasets.peeringdb import (
+    PDBFacility,
+    PDBIXP,
+    PDBNetixlan,
+    PeeringDB,
+    peeringdb_from_world,
+)
+from repro.datasets.relationships import (
+    ASRelationships,
+    Relationship,
+    relationships_from_world,
+)
+from repro.datasets.whois import WhoisRecord, WhoisRegistry
+
+__all__ = [
+    "AS2Org",
+    "ASRelationships",
+    "Announcement",
+    "BGPSnapshot",
+    "IXPDirectory",
+    "PDBFacility",
+    "PDBIXP",
+    "PDBNetixlan",
+    "PeeringDB",
+    "Relationship",
+    "WhoisRecord",
+    "WhoisRegistry",
+    "as2org_from_world",
+    "ixp_directory_from_world",
+    "peeringdb_from_world",
+    "relationships_from_world",
+    "snapshot_from_world",
+]

@@ -1,0 +1,45 @@
+"""CAIDA-style AS-to-Organization dataset.
+
+The paper uses as2org to collapse Amazon's eight ASNs into one ORG so that
+an inter-ASN hop inside Amazon is not mistaken for a network border (§3).
+Coverage is high but not perfect; ASes missing from the dataset fall back
+to a per-ASN pseudo-org in the annotation layer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.net.asn import ASN
+from repro.world.model import World
+
+
+class AS2Org:
+    """ASN -> organization-id mapping."""
+
+    def __init__(self, mapping: Dict[ASN, str]) -> None:
+        self._mapping = dict(mapping)
+
+    def org_of(self, asn: ASN) -> Optional[str]:
+        return self._mapping.get(asn)
+
+    def same_org(self, a: ASN, b: ASN) -> bool:
+        org_a = self._mapping.get(a)
+        return org_a is not None and org_a == self._mapping.get(b)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._mapping
+
+
+def as2org_from_world(world: World, seed: int = 0, coverage: float = 0.98) -> AS2Org:
+    """Derive the dataset; a small fraction of ASes is missing, as in life."""
+    rng = random.Random(repr(("as2org", seed)))
+    mapping: Dict[ASN, str] = {}
+    for info in world.as_registry:
+        if info.kind == "cloud" or rng.random() < coverage:
+            mapping[info.asn] = info.org_id
+    return AS2Org(mapping)

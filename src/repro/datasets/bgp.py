@@ -1,0 +1,121 @@
+"""BGP snapshots: prefix-to-origin mapping and visible AS links.
+
+Mirrors what the paper gets from RouteViews/RIPE RIS (§3): a routing table
+snapshot taken at campaign time.  Two snapshots exist -- ``"r1"`` for the
+first sweep and ``"r2"`` for the expansion round -- because client
+infrastructure blocks kept appearing in BGP between the paper's rounds
+(Table 1's WHOIS% collapsing from 24.8% to 2.3%).
+
+The *AS-link* view is deliberately partial: only peerings the world marks
+``bgp_visible`` produce an Amazon edge, reproducing the paper's finding
+that two-thirds of Amazon peerings never show up in public BGP data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.net.asn import AMAZON_PRIMARY_ASN, ASN
+from repro.net.ip import IPv4, Prefix
+from repro.world.model import World
+
+
+@dataclass(frozen=True)
+class Announcement:
+    prefix: Prefix
+    origin_asn: ASN
+
+
+class BGPSnapshot:
+    """Longest-prefix-match table plus announced AS adjacencies."""
+
+    def __init__(
+        self,
+        announcements: Iterable[Announcement],
+        as_links: Iterable[Tuple[ASN, ASN]],
+        label: str = "r1",
+    ) -> None:
+        self.label = label
+        self._by_length: Dict[int, Dict[int, ASN]] = {}
+        self.announcements: List[Announcement] = []
+        for ann in announcements:
+            self.announcements.append(ann)
+            table = self._by_length.setdefault(ann.prefix.length, {})
+            table[ann.prefix.network] = ann.origin_asn
+        self._lengths = sorted(self._by_length, reverse=True)
+        self.as_links: Set[FrozenSet[ASN]] = {
+            frozenset(link) for link in as_links
+        }
+
+    # ------------------------------------------------------------------
+
+    def origin_of(self, ip: IPv4) -> Optional[ASN]:
+        """Longest-prefix-match origin AS for ``ip`` (None if unannounced)."""
+        for length in self._lengths:
+            mask = 0xFFFFFFFF << (32 - length) & 0xFFFFFFFF if length else 0
+            asn = self._by_length[length].get(ip & mask)
+            if asn is not None:
+                return asn
+        return None
+
+    def is_announced(self, ip: IPv4) -> bool:
+        return self.origin_of(ip) is not None
+
+    def prefixes_of(self, asn: ASN) -> List[Prefix]:
+        return [a.prefix for a in self.announcements if a.origin_asn == asn]
+
+    # ------------------------------------------------------------------
+
+    def has_link(self, a: ASN, b: ASN) -> bool:
+        return frozenset((a, b)) in self.as_links
+
+    def amazon_peers(self) -> Set[ASN]:
+        """ASes with a BGP-visible Amazon adjacency."""
+        peers: Set[ASN] = set()
+        for link in self.as_links:
+            if AMAZON_PRIMARY_ASN in link:
+                peers.update(link - {AMAZON_PRIMARY_ASN})
+        return peers
+
+
+def snapshot_from_world(world: World, label: str = "r1") -> BGPSnapshot:
+    """Derive the public BGP view of a world at round ``label``."""
+    announcements: List[Announcement] = []
+    # Cloud blocks.
+    for cloud, blocks in world.cloud_announced_blocks.items():
+        asn = _cloud_asn(cloud)
+        for block in blocks:
+            announcements.append(Announcement(block, asn))
+    # Client space (stub space is registered under the stub's ASN).
+    for alloc in world.plan.allocations:
+        if alloc.category == "client":
+            announcements.append(Announcement(alloc.prefix, alloc.owner_asn))
+        elif alloc.category == "infra" and alloc.owner_asn != 0:
+            client = world.client_ases.get(alloc.owner_asn)
+            if client is None:
+                if alloc.holder_name == "global-transit":
+                    announcements.append(Announcement(alloc.prefix, alloc.owner_asn))
+                continue
+            announced_now = alloc.prefix in client.announced_prefixes or (
+                label != "r1" and alloc.prefix in client.late_announced
+            )
+            if announced_now:
+                announcements.append(Announcement(alloc.prefix, alloc.owner_asn))
+
+    links: Set[Tuple[ASN, ASN]] = set()
+    for icx in world.interconnections.values():
+        if icx.bgp_visible:
+            links.add((AMAZON_PRIMARY_ASN, icx.peer_asn))
+    # Transit edges: every client buys transit from the global backbone.
+    from repro.world.build import FALLBACK_TRANSIT_ASN
+
+    for asn in world.client_ases:
+        links.add((FALLBACK_TRANSIT_ASN, asn))
+    return BGPSnapshot(announcements, links, label=label)
+
+
+def _cloud_asn(cloud: str) -> ASN:
+    from repro.world.clouds import CLOUD_SPECS
+
+    return CLOUD_SPECS[cloud].primary_asn

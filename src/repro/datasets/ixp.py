@@ -1,0 +1,92 @@
+"""Merged IXP directory (PeeringDB + PCH + CAIDA IXP dataset).
+
+The paper combines three sources to decide whether a hop address belongs
+to an IXP peering LAN (§3) and to map member addresses to member ASNs
+(§5.1's IXP-client heuristic, via traIXroute-style lookups [63]).  We
+model the merge as the PeeringDB snapshot plus a PCH-style supplement that
+recovers a slice of the netixlan entries PeeringDB is missing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4, Prefix
+from repro.datasets.peeringdb import PeeringDB
+from repro.world.model import World
+
+
+class IXPDirectory:
+    """Fast IXP-prefix membership and member lookups."""
+
+    def __init__(
+        self,
+        prefixes: List[Tuple[Prefix, int]],
+        members: Dict[IPv4, Tuple[int, ASN]],
+        cities: Dict[int, Tuple[str, ...]],
+        names: Dict[int, str],
+    ) -> None:
+        self._prefix_by_net: Dict[int, Tuple[Prefix, int]] = {}
+        for prefix, ixp_id in prefixes:
+            for p24 in prefix.slash24s():
+                self._prefix_by_net[p24.network] = (prefix, ixp_id)
+        self._members = members
+        self._cities = cities
+        self._names = names
+
+    # ------------------------------------------------------------------
+
+    def ixp_of(self, ip: IPv4) -> Optional[int]:
+        """IXP id when ``ip`` is inside a known peering LAN."""
+        entry = self._prefix_by_net.get(ip & 0xFFFFFF00)
+        if entry is None:
+            return None
+        prefix, ixp_id = entry
+        return ixp_id if ip in prefix else None
+
+    def is_ixp_address(self, ip: IPv4) -> bool:
+        return self.ixp_of(ip) is not None
+
+    def member_asn(self, ip: IPv4) -> Optional[ASN]:
+        entry = self._members.get(ip)
+        return entry[1] if entry else None
+
+    def cities_of(self, ixp_id: int) -> Tuple[str, ...]:
+        return self._cities.get(ixp_id, ())
+
+    def name_of(self, ixp_id: int) -> str:
+        return self._names.get(ixp_id, f"ixp-{ixp_id}")
+
+    def is_multi_metro(self, ixp_id: int) -> bool:
+        return len(self._cities.get(ixp_id, ())) > 1
+
+    def ixp_ids(self) -> Set[int]:
+        return set(self._cities)
+
+    def member_ips_of(self, ixp_id: int) -> List[IPv4]:
+        return sorted(ip for ip, (i, _a) in self._members.items() if i == ixp_id)
+
+
+def ixp_directory_from_world(
+    world: World,
+    peeringdb: PeeringDB,
+    seed: int = 0,
+    pch_recovery_rate: float = 0.5,
+) -> IXPDirectory:
+    """Merge PeeringDB's view with a PCH-style supplement."""
+    rng = random.Random(repr(("pch", seed)))
+    prefixes = [(x.prefix, x.ixp_id) for x in peeringdb.ixps]
+    cities = {x.ixp_id: x.cities for x in peeringdb.ixps}
+    names = {x.ixp_id: x.name for x in peeringdb.ixps}
+    members: Dict[IPv4, Tuple[int, ASN]] = {
+        n.ip: (n.ixp_id, n.asn) for n in peeringdb.netixlans
+    }
+    # PCH recovers some of the member records PeeringDB lacks.
+    for ixp in world.ixps.values():
+        for asn, ips in sorted(ixp.member_ips.items()):
+            for ip in ips:
+                if ip not in members and rng.random() < pch_recovery_rate:
+                    members[ip] = (ixp.ixp_id, asn)
+    return IXPDirectory(prefixes, members, cities, names)

@@ -1,0 +1,102 @@
+"""CAIDA-style AS relationships and customer cones.
+
+§7.2 checks each inferred peering against CAIDA's AS Relationships dataset
+(derived from BGP feeds) and §7.3 uses the /24 customer cone as a proxy
+for an AS's role.  Both views inherit BGP's blind spots: relationships
+exist only for BGP-visible links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.net.asn import AMAZON_PRIMARY_ASN, ASN
+from repro.world.model import World
+
+P2P = "p2p"          # settlement-free peering
+P2C = "p2c"          # provider-to-customer
+
+
+@dataclass(frozen=True)
+class Relationship:
+    a: ASN
+    b: ASN
+    kind: str          # P2P or P2C with a as provider
+
+
+class ASRelationships:
+    """Relationship lookups plus /24 customer-cone sizes."""
+
+    def __init__(
+        self,
+        relationships: List[Relationship],
+        cone_slash24: Dict[ASN, int],
+    ) -> None:
+        self.relationships = relationships
+        self._cones = dict(cone_slash24)
+        self._links: Set[FrozenSet[ASN]] = set()
+        self._providers: Dict[ASN, Set[ASN]] = {}
+        self._customers: Dict[ASN, Set[ASN]] = {}
+        for rel in relationships:
+            self._links.add(frozenset((rel.a, rel.b)))
+            if rel.kind == P2C:
+                self._customers.setdefault(rel.a, set()).add(rel.b)
+                self._providers.setdefault(rel.b, set()).add(rel.a)
+
+    def has_link(self, a: ASN, b: ASN) -> bool:
+        return frozenset((a, b)) in self._links
+
+    def providers_of(self, asn: ASN) -> Set[ASN]:
+        return set(self._providers.get(asn, set()))
+
+    def customers_of(self, asn: ASN) -> Set[ASN]:
+        return set(self._customers.get(asn, set()))
+
+    def cone_slash24(self, asn: ASN) -> int:
+        return self._cones.get(asn, 1)
+
+    def amazon_links(self) -> Set[ASN]:
+        out: Set[ASN] = set()
+        for link in self._links:
+            if AMAZON_PRIMARY_ASN in link:
+                out.update(link - {AMAZON_PRIMARY_ASN})
+        return out
+
+
+def relationships_from_world(world: World) -> ASRelationships:
+    """Derive the BGP-visible relationship graph and cone metadata."""
+    from repro.world.build import TRANSIT_ASNS
+
+    rels: List[Relationship] = []
+    seen: Set[FrozenSet[ASN]] = set()
+    for icx in world.interconnections.values():
+        if not icx.bgp_visible:
+            continue
+        key = frozenset((AMAZON_PRIMARY_ASN, icx.peer_asn))
+        if key in seen:
+            continue
+        seen.add(key)
+        rels.append(Relationship(AMAZON_PRIMARY_ASN, icx.peer_asn, P2P))
+    cones: Dict[ASN, int] = {}
+    for asn, client in world.client_ases.items():
+        # One or two transit providers, chosen deterministically: the
+        # mixed provider sets that trip bdrmap's thirdparty heuristic.
+        primary = TRANSIT_ASNS[(asn * 2654435761 >> 4) % len(TRANSIT_ASNS)]
+        rels.append(Relationship(primary, asn, P2C))
+        if (asn * 2654435761 >> 9) % 10 < 4:
+            secondary = TRANSIT_ASNS[
+                ((asn * 2654435761 >> 4) + 1) % len(TRANSIT_ASNS)
+            ]
+            rels.append(Relationship(secondary, asn, P2C))
+        cones[asn] = client.cone_slash24
+    # Stub ASes hang off their transit parents in the public graph.
+    for owner, carrier in sorted(world.asn_carrier.items()):
+        if owner != carrier:
+            rels.append(Relationship(carrier, owner, P2C))
+    for info in world.as_registry:
+        if 60000 <= info.asn < 100000:
+            cones.setdefault(info.asn, 1)
+    for transit in TRANSIT_ASNS:
+        cones[transit] = max(sum(cones.values()) // len(TRANSIT_ASNS), 1)
+    return ASRelationships(rels, cones)

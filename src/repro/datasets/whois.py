@@ -1,0 +1,52 @@
+"""WHOIS registry view: RIR allocations for unannounced space.
+
+§3: 7% of observed hop addresses were in public space announced by no AS;
+the paper maps them to owners via WHOIS.  This dataset exposes the
+allocation registry of the world's address plan with realistic coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4
+from repro.world.model import World
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    holder_name: str
+    asn: Optional[ASN]           # RIRs record an ASN for some holders only
+
+
+class WhoisRegistry:
+    """ip -> registered holder lookup."""
+
+    def __init__(self, world: World, seed: int = 0, asn_coverage: float = 0.9) -> None:
+        self._world = world
+        self._rng = random.Random(repr(("whois", seed)))
+        self._asn_coverage = asn_coverage
+        self._cache: Dict[int, Optional[WhoisRecord]] = {}
+
+    def lookup(self, ip: IPv4) -> Optional[WhoisRecord]:
+        """The registered allocation covering ``ip``, if any."""
+        key = ip >> 8  # allocations never split /24s in our plan
+        if key in self._cache:
+            return self._cache[key]
+        alloc = self._world.plan.owner_of(ip)
+        record: Optional[WhoisRecord] = None
+        if alloc is not None:
+            asn: Optional[ASN] = alloc.owner_asn if alloc.owner_asn else None
+            # Some RIR records carry only a holder name, no ASN.
+            if asn is not None and self._rng.random() >= self._asn_coverage:
+                asn = None
+            record = WhoisRecord(holder_name=alloc.holder_name, asn=asn)
+        self._cache[key] = record
+        return record
+
+    def owner_asn(self, ip: IPv4) -> Optional[ASN]:
+        record = self.lookup(ip)
+        return record.asn if record else None

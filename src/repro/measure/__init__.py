@@ -1,0 +1,36 @@
+"""Measurement plane: traceroute, ping, public reachability, alias resolution.
+
+These tools are the *only* window the inference pipeline has onto the
+synthetic Internet -- the same observables the paper's authors had onto the
+real one.
+"""
+
+from repro.measure.alias import AliasResolver
+from repro.measure.campaign import (
+    CampaignStats,
+    ProbeCampaign,
+    vpi_target_pool,
+)
+from repro.measure.ping import Pinger
+from repro.measure.reachability import PublicVantagePoint
+from repro.measure.traceroute import (
+    GAP_LIMIT,
+    StopReason,
+    TraceHop,
+    Traceroute,
+    TracerouteEngine,
+)
+
+__all__ = [
+    "AliasResolver",
+    "CampaignStats",
+    "GAP_LIMIT",
+    "Pinger",
+    "ProbeCampaign",
+    "PublicVantagePoint",
+    "StopReason",
+    "TraceHop",
+    "Traceroute",
+    "TracerouteEngine",
+    "vpi_target_pool",
+]

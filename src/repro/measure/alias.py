@@ -1,0 +1,99 @@
+"""MIDAR-like alias resolution.
+
+§5.2 runs MIDAR from VMs in every region over all candidate ABIs and CBIs.
+MIDAR's monotonic-IP-ID test discovers that two interfaces share a router
+when both answer from the same counter; coverage is partial and varies by
+vantage point.  We model exactly that observable: per region, each pair of
+candidate interfaces on one (ground-truth) router is discovered with a
+fixed probability, provided both interfaces answer probes from that
+region; per-region alias sets that share interfaces are then merged, as
+the paper does.
+
+The resolver never reveals router identity -- only interface groupings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.net.ip import IPv4
+from repro.world.model import World
+
+
+class _UnionFind:
+    """Disjoint sets over interface addresses."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[IPv4, IPv4] = {}
+
+    def find(self, x: IPv4) -> IPv4:
+        parent = self._parent.setdefault(x, x)
+        if parent == x:
+            return x
+        root = self.find(parent)
+        self._parent[x] = root
+        return root
+
+    def union(self, a: IPv4, b: IPv4) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def groups(self) -> List[Set[IPv4]]:
+        by_root: Dict[IPv4, Set[IPv4]] = {}
+        for x in self._parent:
+            by_root.setdefault(self.find(x), set()).add(x)
+        return [g for g in by_root.values() if len(g) >= 2]
+
+
+class AliasResolver:
+    """Runs the per-region alias campaigns and merges their outputs."""
+
+    def __init__(
+        self,
+        world: World,
+        seed: int = 0,
+        pair_discovery_rate: float = 0.5,
+    ) -> None:
+        self.world = world
+        self.pair_discovery_rate = pair_discovery_rate
+        self._rng = random.Random(repr(("alias", seed)))
+
+    def _visible_from(self, region: str, ip: IPv4) -> bool:
+        iface = self.world.interfaces.get(ip)
+        if iface is None or not iface.responsive:
+            return False
+        limit = self.world.ping_region_limit.get(ip)
+        return limit is None or region in limit
+
+    def resolve(
+        self,
+        candidate_ips: Iterable[IPv4],
+        cloud: str = "amazon",
+        regions: Optional[Sequence[str]] = None,
+    ) -> List[Set[IPv4]]:
+        """Alias sets (size >= 2) discovered across all regions."""
+        regions = list(regions or self.world.region_names(cloud))
+        candidates = sorted(set(candidate_ips))
+        by_router: Dict[int, List[IPv4]] = {}
+        for ip in candidates:
+            iface = self.world.interfaces.get(ip)
+            if iface is None:
+                continue
+            by_router.setdefault(iface.router_id, []).append(ip)
+
+        uf = _UnionFind()
+        rng = self._rng
+        for _rid, ips in sorted(by_router.items()):
+            if len(ips) < 2:
+                continue
+            for region in regions:
+                visible = [ip for ip in ips if self._visible_from(region, ip)]
+                if len(visible) < 2:
+                    continue
+                # MIDAR chains pairwise tests; one pass per region.
+                for a, b in zip(visible, visible[1:]):
+                    if rng.random() < self.pair_discovery_rate:
+                        uf.union(a, b)
+        return sorted(uf.groups(), key=lambda g: (-len(g), min(g)))

@@ -1,0 +1,163 @@
+"""Probing-campaign orchestration (§3, §4.2, §7.1).
+
+Round 1 sweeps the ``.1`` of every /24 in the target universe from every
+region.  Round 2 ("expansion probing") targets every other address of the
+/24s around the CBIs discovered in round 1.  The VPI round re-probes a
+target pool from the four other clouds.  All campaigns stream traces into
+consumers so memory stays bounded at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.net.ip import IPv4, Prefix
+from repro.measure.traceroute import Traceroute, TracerouteEngine
+from repro.world.model import World
+
+TraceConsumer = Callable[[Traceroute], None]
+
+
+@dataclass
+class CampaignStats:
+    """Yield statistics, mirroring the §3 discussion."""
+
+    probes: int = 0
+    completed: int = 0
+    left_cloud: int = 0
+    gap_limited: int = 0
+    by_region: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, trace: Traceroute, left_cloud: bool) -> None:
+        self.probes += 1
+        self.by_region[trace.region] = self.by_region.get(trace.region, 0) + 1
+        if trace.completed:
+            self.completed += 1
+        else:
+            self.gap_limited += 1
+        if left_cloud:
+            self.left_cloud += 1
+
+    @property
+    def completed_fraction(self) -> float:
+        return self.completed / self.probes if self.probes else 0.0
+
+    @property
+    def left_cloud_fraction(self) -> float:
+        return self.left_cloud / self.probes if self.probes else 0.0
+
+
+class ProbeCampaign:
+    """Drives a :class:`TracerouteEngine` over target lists."""
+
+    def __init__(
+        self,
+        world: World,
+        engine: Optional[TracerouteEngine] = None,
+        cloud: str = "amazon",
+        regions: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.world = world
+        self.cloud = cloud
+        self.engine = engine or TracerouteEngine(world)
+        self.regions = list(regions or world.region_names(cloud))
+        #: cloud-owned space, used to decide whether a trace "left" it.
+        self._own_blocks = [
+            p
+            for p in world.cloud_announced_blocks.get(cloud, [])
+            + world.cloud_infra_blocks.get(cloud, [])
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _left_cloud(self, trace: Traceroute) -> bool:
+        for ip in trace.responsive_ips:
+            if ip == trace.dst:
+                continue
+            inside = any(ip in block for block in self._own_blocks)
+            if not inside and not _is_private_or_shared(ip):
+                return True
+        return False
+
+    def run(
+        self,
+        targets: Iterable[IPv4],
+        consumer: TraceConsumer,
+        stats: Optional[CampaignStats] = None,
+        regions: Optional[Sequence[str]] = None,
+    ) -> CampaignStats:
+        """Probe every target from every region, streaming to ``consumer``."""
+        stats = stats or CampaignStats()
+        target_list = list(targets)
+        for region in regions or self.regions:
+            for dst in target_list:
+                trace = self.engine.trace(self.cloud, region, dst)
+                stats.record(trace, self._left_cloud(trace))
+                consumer(trace)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def round1_targets(self) -> Iterator[IPv4]:
+        """The ``.1`` of every /24 in the sweep universe (§3)."""
+        for p24 in self.world.sweep_slash24s:
+            yield p24.network + 1
+
+    def run_round1(
+        self, consumer: TraceConsumer, stats: Optional[CampaignStats] = None
+    ) -> CampaignStats:
+        return self.run(list(self.round1_targets()), consumer, stats)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def expansion_targets(
+        cbi_ips: Iterable[IPv4], stride: int = 1
+    ) -> List[IPv4]:
+        """All other addresses in the /24 of every discovered CBI (§4.2).
+
+        ``stride`` sub-samples each /24 for cheaper runs; 1 reproduces the
+        paper's exhaustive expansion.
+        """
+        targets: List[IPv4] = []
+        seen: Set[int] = set()
+        cbis = set(cbi_ips)
+        for cbi in sorted(cbis):
+            net = cbi & 0xFFFFFF00
+            if net in seen:
+                continue
+            seen.add(net)
+            for offset in range(1, 255, stride):
+                addr = net + offset
+                if addr != cbi:
+                    targets.append(addr)
+        return targets
+
+    def run_expansion(
+        self,
+        cbi_ips: Iterable[IPv4],
+        consumer: TraceConsumer,
+        stats: Optional[CampaignStats] = None,
+        stride: int = 1,
+    ) -> CampaignStats:
+        return self.run(self.expansion_targets(cbi_ips, stride), consumer, stats)
+
+
+def _is_private_or_shared(ip: IPv4) -> bool:
+    from repro.net.ip import is_private, is_shared
+
+    return is_private(ip) or is_shared(ip)
+
+
+def vpi_target_pool(
+    non_ixp_cbis: Iterable[IPv4], discovery_dsts: Iterable[IPv4]
+) -> List[IPv4]:
+    """§7.1's probe pool: non-IXP CBIs, their +1 addresses, and the
+    destinations of the traceroutes that discovered each CBI."""
+    pool: Set[IPv4] = set()
+    for cbi in non_ixp_cbis:
+        pool.add(cbi)
+        pool.add(cbi + 1)
+    pool.update(discovery_dsts)
+    return sorted(pool)

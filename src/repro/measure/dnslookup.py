@@ -1,0 +1,32 @@
+"""Reverse-DNS lookups (PTR records) for observed interfaces.
+
+§6.1 parses the DNS names of CBIs for embedded location hints; none of the
+ABIs had PTR records in the paper's data.  This resolver is the public
+observable over the world's name records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.net.ip import IPv4
+from repro.world.model import World
+
+
+class ReverseDNS:
+    """ip -> PTR name lookups."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+
+    def lookup(self, ip: IPv4) -> Optional[str]:
+        iface = self._world.interfaces.get(ip)
+        return iface.dns_name if iface else None
+
+    def lookup_all(self, ips: Iterable[IPv4]) -> Dict[IPv4, str]:
+        out: Dict[IPv4, str] = {}
+        for ip in ips:
+            name = self.lookup(ip)
+            if name is not None:
+                out[ip] = name
+        return out

@@ -1,0 +1,43 @@
+"""Reachability probing from a vantage point on the public Internet.
+
+§5.1's third heuristic probes every candidate ABI and CBI from a node at
+the University of Oregon: ABIs are usually unreachable from outside
+(Amazon filters), while CBIs often answer.  The prober exposes exactly
+that observable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable
+
+from repro.net.ip import IPv4
+from repro.world.model import World
+
+
+class PublicVantagePoint:
+    """Probes interfaces from outside all clouds."""
+
+    def __init__(self, world: World, seed: int = 0, loss_rate: float = 0.01) -> None:
+        self.world = world
+        self.loss_rate = loss_rate
+        self._rng = random.Random(repr(("public-vp", seed)))
+        self._cache: Dict[IPv4, bool] = {}
+
+    def reachable(self, ip: IPv4) -> bool:
+        """True when the interface answers probes from the public Internet."""
+        cached = self._cache.get(ip)
+        if cached is not None:
+            return cached
+        iface = self.world.interfaces.get(ip)
+        value = (
+            iface is not None
+            and iface.responsive
+            and ip in self.world.publicly_reachable
+            and self._rng.random() >= self.loss_rate
+        )
+        self._cache[ip] = value
+        return value
+
+    def probe_all(self, ips: Iterable[IPv4]) -> Dict[IPv4, bool]:
+        return {ip: self.reachable(ip) for ip in ips}

@@ -1,0 +1,59 @@
+"""Network primitives: IPv4 addressing, geography/RTT model, AS identity."""
+
+from repro.net.asn import (
+    AMAZON_ASNS,
+    AMAZON_ORG_ID,
+    AMAZON_PRIMARY_ASN,
+    AS_UNKNOWN,
+    ASInfo,
+    ASKind,
+    ASRegistry,
+    is_amazon_asn,
+)
+from repro.net.geo import (
+    DEFAULT_CATALOG,
+    Metro,
+    MetroCatalog,
+    metro_distance_km,
+    propagation_rtt_ms,
+)
+from repro.net.ip import (
+    AddressError,
+    AddressPool,
+    InterconnectSubnet,
+    Prefix,
+    PrefixAllocator,
+    dot1_of_slash24,
+    format_ip,
+    is_private,
+    is_shared,
+    parse_ip,
+    slash24_of,
+)
+
+__all__ = [
+    "AMAZON_ASNS",
+    "AMAZON_ORG_ID",
+    "AMAZON_PRIMARY_ASN",
+    "AS_UNKNOWN",
+    "ASInfo",
+    "ASKind",
+    "ASRegistry",
+    "AddressError",
+    "AddressPool",
+    "DEFAULT_CATALOG",
+    "InterconnectSubnet",
+    "Metro",
+    "MetroCatalog",
+    "Prefix",
+    "PrefixAllocator",
+    "dot1_of_slash24",
+    "format_ip",
+    "is_amazon_asn",
+    "is_private",
+    "is_shared",
+    "metro_distance_km",
+    "parse_ip",
+    "propagation_rtt_ms",
+    "slash24_of",
+]

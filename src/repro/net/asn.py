@@ -1,0 +1,131 @@
+"""Autonomous system and organization identity primitives.
+
+The paper's border detection works at the *organization* level (§3, §4.1):
+Amazon announces space from at least eight ASNs (AS7224, AS16509, ...) and a
+traceroute may cross several of them before leaving Amazon, so a border is
+declared only when the hop's ORG differs from Amazon's ORG.  This module
+defines the ASN/ORG vocabulary shared by the world builder, the datasets,
+and the inference pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+ASN = int
+
+#: ASN 0 marks hops whose address maps to no origin AS (private/shared space).
+AS_UNKNOWN: ASN = 0
+
+#: The Amazon ASNs the paper observed in its traceroutes (§3, footnote 4).
+AMAZON_ASNS: FrozenSet[ASN] = frozenset(
+    {7224, 16509, 19047, 14618, 38895, 39111, 8987, 9059}
+)
+AMAZON_PRIMARY_ASN: ASN = 16509
+AMAZON_ORG_ID = "ORG-AMZN"
+
+#: The other cloud providers used for VPI detection (§7.1, Table 4).
+MICROSOFT_ASN: ASN = 8075
+GOOGLE_ASN: ASN = 15169
+IBM_ASN: ASN = 36351
+ORACLE_ASN: ASN = 31898
+
+OTHER_CLOUD_ASNS: Dict[str, ASN] = {
+    "microsoft": MICROSOFT_ASN,
+    "google": GOOGLE_ASN,
+    "ibm": IBM_ASN,
+    "oracle": ORACLE_ASN,
+}
+
+CLOUD_ORG_IDS: Dict[str, str] = {
+    "amazon": AMAZON_ORG_ID,
+    "microsoft": "ORG-MSFT",
+    "google": "ORG-GOGL",
+    "ibm": "ORG-IBM",
+    "oracle": "ORG-ORCL",
+}
+
+
+class ASKind:
+    """Role of an AS in the synthetic Internet (string enum)."""
+
+    CLOUD = "cloud"
+    TIER1 = "tier1"           # very large transit (Pr-B groups)
+    TIER2 = "tier2"           # regional transit (Pb-B group)
+    ACCESS = "access"         # eyeball / access networks
+    CONTENT = "content"       # CDNs and content networks
+    ENTERPRISE = "enterprise"  # enterprises, universities (main VPI users)
+
+
+@dataclass
+class ASInfo:
+    """Static identity of one autonomous system."""
+
+    asn: ASN
+    name: str
+    org_id: str
+    kind: str
+    country: str = "US"
+    siblings: List[ASN] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.asn < 0 or self.asn > 4_294_967_295:
+            raise ValueError(f"ASN out of range: {self.asn}")
+
+
+class ASRegistry:
+    """Registry of every AS in a world, with ORG grouping.
+
+    Mirrors what CAIDA's as2org dataset provides: a mapping from ASN to a
+    unique organization identifier, so that sibling ASNs (e.g. Amazon's
+    eight) can be collapsed during border detection.
+    """
+
+    def __init__(self) -> None:
+        self._by_asn: Dict[ASN, ASInfo] = {}
+        self._by_org: Dict[str, List[ASN]] = {}
+
+    def add(self, info: ASInfo) -> ASInfo:
+        if info.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {info.asn}")
+        self._by_asn[info.asn] = info
+        self._by_org.setdefault(info.org_id, []).append(info.asn)
+        return info
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def get(self, asn: ASN) -> ASInfo:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def maybe(self, asn: ASN) -> Optional[ASInfo]:
+        return self._by_asn.get(asn)
+
+    def org_of(self, asn: ASN) -> Optional[str]:
+        info = self._by_asn.get(asn)
+        return info.org_id if info else None
+
+    def asns_of_org(self, org_id: str) -> List[ASN]:
+        return list(self._by_org.get(org_id, []))
+
+    def same_org(self, a: ASN, b: ASN) -> bool:
+        org_a, org_b = self.org_of(a), self.org_of(b)
+        return org_a is not None and org_a == org_b
+
+    def of_kind(self, kind: str) -> List[ASInfo]:
+        return [info for info in self._by_asn.values() if info.kind == kind]
+
+
+def is_amazon_asn(asn: ASN) -> bool:
+    """True for any of Amazon's sibling ASNs."""
+    return asn in AMAZON_ASNS

@@ -1,0 +1,225 @@
+"""Geography: metro areas, geodesic distance, and the fiber RTT model.
+
+Pinning (§6) geo-locates border interfaces to *metro areas*, so the metro is
+our atomic location unit.  A metro has a name, country, the 3-letter airport
+code that shows up in router DNS names, and coordinates.  Distances between
+metros drive the propagation-delay model used by the ping and traceroute
+simulators; the 2 ms co-presence knee of Fig. 4 emerges from this model
+(2 ms RTT ~ 200 km of fiber), not from hard-coding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+EARTH_RADIUS_KM = 6371.0
+
+# Effective propagation speed in fiber is ~2/3 c ~= 200 km/ms one way, and
+# terrestrial paths are not great circles; ROUTE_INFLATION stretches the
+# geodesic to approximate real fiber routes.
+FIBER_KM_PER_MS_ONE_WAY = 200.0
+ROUTE_INFLATION = 1.4
+
+
+@dataclass(frozen=True)
+class Metro:
+    """A metropolitan area that can host colo facilities and IXPs."""
+
+    code: str      # 3-letter airport code, e.g. "IAD"
+    city: str
+    country: str
+    lat: float
+    lon: float
+    region_hint: Optional[str] = None  # AWS region whose metro this is, if any
+
+    def __str__(self) -> str:
+        return f"{self.city} ({self.code})"
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in kilometres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def metro_distance_km(a: Metro, b: Metro) -> float:
+    """Inflated fiber-route distance between two metros."""
+    if a.code == b.code:
+        return 0.0
+    return haversine_km(a.lat, a.lon, b.lat, b.lon) * ROUTE_INFLATION
+
+
+def propagation_rtt_ms(a: Metro, b: Metro) -> float:
+    """Round-trip propagation delay between two metros in milliseconds."""
+    return 2.0 * metro_distance_km(a, b) / FIBER_KM_PER_MS_ONE_WAY
+
+
+# ---------------------------------------------------------------------------
+# Metro catalog.  Coordinates are approximate city centres; codes are the
+# IATA codes commonly embedded in router DNS names (DRoP-style parsing, §6.1).
+# The first 15 entries are the metros of the 15 AWS regions the paper used.
+# ---------------------------------------------------------------------------
+
+_METRO_ROWS: Tuple[Tuple[str, str, str, float, float, Optional[str]], ...] = (
+    # code, city, country, lat, lon, aws region hint
+    ("IAD", "Ashburn", "US", 39.04, -77.49, "us-east-1"),
+    ("CMH", "Columbus", "US", 39.96, -83.00, "us-east-2"),
+    ("SJC", "San Jose", "US", 37.34, -121.89, "us-west-1"),
+    ("PDX", "Portland", "US", 45.52, -122.68, "us-west-2"),
+    ("YUL", "Montreal", "CA", 45.50, -73.57, "ca-central-1"),
+    ("DUB", "Dublin", "IE", 53.35, -6.26, "eu-west-1"),
+    ("LHR", "London", "GB", 51.51, -0.13, "eu-west-2"),
+    ("CDG", "Paris", "FR", 48.86, 2.35, "eu-west-3"),
+    ("FRA", "Frankfurt", "DE", 50.11, 8.68, "eu-central-1"),
+    ("GRU", "Sao Paulo", "BR", -23.55, -46.63, "sa-east-1"),
+    ("SIN", "Singapore", "SG", 1.35, 103.82, "ap-southeast-1"),
+    ("SYD", "Sydney", "AU", -33.87, 151.21, "ap-southeast-2"),
+    ("NRT", "Tokyo", "JP", 35.68, 139.69, "ap-northeast-1"),
+    ("ICN", "Seoul", "KR", 37.57, 126.98, "ap-northeast-2"),
+    ("BOM", "Mumbai", "IN", 19.08, 72.88, "ap-south-1"),
+    # Other major peering metros (no AWS region).
+    ("LAX", "Los Angeles", "US", 34.05, -118.24, None),
+    ("SEA", "Seattle", "US", 47.61, -122.33, None),
+    ("ORD", "Chicago", "US", 41.88, -87.63, None),
+    ("DFW", "Dallas", "US", 32.78, -96.80, None),
+    ("ATL", "Atlanta", "US", 33.75, -84.39, None),
+    ("MIA", "Miami", "US", 25.76, -80.19, None),
+    ("JFK", "New York", "US", 40.71, -74.01, None),
+    ("BOS", "Boston", "US", 42.36, -71.06, None),
+    ("DEN", "Denver", "US", 39.74, -104.99, None),
+    ("PHX", "Phoenix", "US", 33.45, -112.07, None),
+    ("SLC", "Salt Lake City", "US", 40.76, -111.89, None),
+    ("MSP", "Minneapolis", "US", 44.98, -93.27, None),
+    ("IAH", "Houston", "US", 29.76, -95.37, None),
+    ("LAS", "Las Vegas", "US", 36.17, -115.14, None),
+    ("YYZ", "Toronto", "CA", 43.65, -79.38, None),
+    ("YVR", "Vancouver", "CA", 49.28, -123.12, None),
+    ("AMS", "Amsterdam", "NL", 52.37, 4.90, None),
+    ("MAD", "Madrid", "ES", 40.42, -3.70, None),
+    ("MXP", "Milan", "IT", 45.46, 9.19, None),
+    ("ZRH", "Zurich", "CH", 47.38, 8.54, None),
+    ("VIE", "Vienna", "AT", 48.21, 16.37, None),
+    ("ARN", "Stockholm", "SE", 59.33, 18.07, None),
+    ("CPH", "Copenhagen", "DK", 55.68, 12.57, None),
+    ("OSL", "Oslo", "NO", 59.91, 10.75, None),
+    ("HEL", "Helsinki", "FI", 60.17, 24.94, None),
+    ("WAW", "Warsaw", "PL", 52.23, 21.01, None),
+    ("PRG", "Prague", "CZ", 50.08, 14.44, None),
+    ("BRU", "Brussels", "BE", 50.85, 4.35, None),
+    ("LIS", "Lisbon", "PT", 38.72, -9.14, None),
+    ("MRS", "Marseille", "FR", 43.30, 5.37, None),
+    ("HKG", "Hong Kong", "HK", 22.32, 114.17, None),
+    ("TPE", "Taipei", "TW", 25.03, 121.57, None),
+    ("KUL", "Kuala Lumpur", "MY", 3.14, 101.69, None),
+    ("BKK", "Bangkok", "TH", 13.76, 100.50, None),
+    ("CGK", "Jakarta", "ID", -6.21, 106.85, None),
+    ("MNL", "Manila", "PH", 14.60, 120.98, None),
+    ("KIX", "Osaka", "JP", 34.69, 135.50, None),
+    ("MEL", "Melbourne", "AU", -37.81, 144.96, None),
+    ("PER", "Perth", "AU", -31.95, 115.86, None),
+    ("AKL", "Auckland", "NZ", -36.85, 174.76, None),
+    ("MAA", "Chennai", "IN", 13.08, 80.27, None),
+    ("DEL", "New Delhi", "IN", 28.61, 77.21, None),
+    ("DXB", "Dubai", "AE", 25.20, 55.27, None),
+    ("TLV", "Tel Aviv", "IL", 32.09, 34.78, None),
+    ("IST", "Istanbul", "TR", 41.01, 28.98, None),
+    ("JNB", "Johannesburg", "ZA", -26.20, 28.05, None),
+    ("CPT", "Cape Town", "ZA", -33.92, 18.42, None),
+    ("NBO", "Nairobi", "KE", -1.29, 36.82, None),
+    ("LOS", "Lagos", "NG", 6.52, 3.38, None),
+    ("SCL", "Santiago", "CL", -33.45, -70.67, None),
+    ("EZE", "Buenos Aires", "AR", -34.60, -58.38, None),
+    ("BOG", "Bogota", "CO", 4.71, -74.07, None),
+    ("LIM", "Lima", "PE", -12.05, -77.04, None),
+    ("MEX", "Mexico City", "MX", 19.43, -99.13, None),
+    ("GIG", "Rio de Janeiro", "BR", -22.91, -43.17, None),
+    ("FOR", "Fortaleza", "BR", -3.73, -38.53, None),
+    ("MOW", "Moscow", "RU", 55.76, 37.62, None),
+    ("KBP", "Kyiv", "UA", 50.45, 30.52, None),
+    ("BUD", "Budapest", "HU", 47.50, 19.04, None),
+    ("OTP", "Bucharest", "RO", 44.43, 26.10, None),
+    ("SOF", "Sofia", "BG", 42.70, 23.32, None),
+    ("ATH", "Athens", "GR", 37.98, 23.73, None),
+    ("BLR", "Bangalore", "IN", 12.97, 77.59, None),
+    ("MCT", "Muscat", "OM", 23.59, 58.41, None),
+    ("DOH", "Doha", "QA", 25.29, 51.53, None),
+)
+
+
+class MetroCatalog:
+    """Lookup table over the built-in metros.
+
+    The catalog is immutable and shared; world builders select subsets of it.
+    """
+
+    def __init__(self, rows: Iterable[Tuple[str, str, str, float, float, Optional[str]]] = _METRO_ROWS) -> None:
+        self._metros: Dict[str, Metro] = {}
+        self._city_index: Dict[str, Metro] = {}
+        self._dist_cache: Dict[Tuple[str, str], float] = {}
+        for code, city, country, lat, lon, hint in rows:
+            metro = Metro(code=code, city=city, country=country, lat=lat, lon=lon, region_hint=hint)
+            if code in self._metros:
+                raise ValueError(f"duplicate metro code {code}")
+            self._metros[code] = metro
+            self._city_index[city.lower()] = metro
+
+    def __len__(self) -> int:
+        return len(self._metros)
+
+    def __iter__(self):
+        return iter(self._metros.values())
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._metros
+
+    def get(self, code: str) -> Metro:
+        try:
+            return self._metros[code]
+        except KeyError:
+            raise KeyError(f"unknown metro code {code!r}") from None
+
+    def by_city(self, city: str) -> Optional[Metro]:
+        """Look up a metro by (case-insensitive) city name."""
+        return self._city_index.get(city.lower())
+
+    def codes(self) -> List[str]:
+        return list(self._metros)
+
+    def aws_region_metros(self) -> Dict[str, Metro]:
+        """Map AWS region name -> metro for the 15 region metros."""
+        return {
+            m.region_hint: m for m in self._metros.values() if m.region_hint
+        }
+
+    def non_region_metros(self) -> List[Metro]:
+        return [m for m in self._metros.values() if m.region_hint is None]
+
+    def distance_km(self, code_a: str, code_b: str) -> float:
+        """Memoised inflated fiber distance between two metro codes."""
+        if code_a == code_b:
+            return 0.0
+        key = (code_a, code_b) if code_a < code_b else (code_b, code_a)
+        cached = self._dist_cache.get(key)
+        if cached is None:
+            cached = metro_distance_km(self.get(code_a), self.get(code_b))
+            self._dist_cache[key] = cached
+        return cached
+
+    def rtt_ms(self, code_a: str, code_b: str) -> float:
+        """Memoised round-trip propagation delay between two metro codes."""
+        return 2.0 * self.distance_km(code_a, code_b) / FIBER_KM_PER_MS_ONE_WAY
+
+    def nearest(self, metro: Metro, candidates: Optional[Iterable[Metro]] = None) -> Metro:
+        """Nearest other metro (among ``candidates``, default: whole catalog)."""
+        pool = [m for m in (candidates or self) if m.code != metro.code]
+        if not pool:
+            raise ValueError("no candidate metros")
+        return min(pool, key=lambda m: metro_distance_km(metro, m))
+
+
+DEFAULT_CATALOG = MetroCatalog()

@@ -1,0 +1,104 @@
+"""Seeded randomness helpers for deterministic world generation.
+
+Every stochastic choice in the simulator flows through a ``random.Random``
+instance owned by the world builder, so a (seed, config) pair fully
+determines the world, the measurements, and therefore the benchmark output.
+The helpers here provide the skewed distributions the paper's populations
+exhibit (CBI counts per AS, customer cone sizes, alias set sizes).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def make_rng(seed: int, *salt: object) -> random.Random:
+    """Derive a child RNG from ``seed`` and a salt tuple.
+
+    Child streams keep independent modules (topology vs. measurement noise)
+    from perturbing each other when one of them draws more numbers.
+    """
+    return random.Random((seed, tuple(str(s) for s in salt)).__repr__())
+
+
+def bounded_lognormal(
+    rng: random.Random, mean: float, sigma: float, lo: int, hi: int
+) -> int:
+    """Integer draw from a lognormal with target arithmetic mean, clamped.
+
+    ``mean`` is the desired arithmetic mean of the (unclamped) distribution;
+    we solve for mu given sigma: E[X] = exp(mu + sigma^2/2).
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    mu = math.log(mean) - sigma * sigma / 2.0
+    draw = rng.lognormvariate(mu, sigma)
+    return max(lo, min(hi, int(round(draw))))
+
+
+def zipf_sample(rng: random.Random, n: int, alpha: float = 1.2) -> int:
+    """Sample a rank in [1, n] with Zipf weight rank**-alpha."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    weights = [r ** -alpha for r in range(1, n + 1)]
+    return weighted_choice(rng, list(range(1, n + 1)), weights)
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item with the given (unnormalised) weights."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights length mismatch")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    x = rng.random() * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        acc += w
+        if x < acc:
+            return item
+    return items[-1]
+
+
+def sample_counts(
+    rng: random.Random, profile: Dict[T, int], total: int
+) -> List[T]:
+    """Draw ``total`` items i.i.d. from a census ``profile`` of counts.
+
+    Used to sample per-AS peering profiles from the paper's Table 6 census
+    so any world scale preserves the published mixture.
+    """
+    items = list(profile.keys())
+    weights = [float(profile[i]) for i in items]
+    return [weighted_choice(rng, items, weights) for _ in range(total)]
+
+
+def jittered(rng: random.Random, base: float, spread: float) -> float:
+    """``base`` plus a non-negative exponential queueing jitter."""
+    if spread <= 0:
+        return base
+    return base + rng.expovariate(1.0 / spread)
+
+
+def coin(rng: random.Random, p: float) -> bool:
+    """Bernoulli draw."""
+    return rng.random() < p
+
+
+def partition_sizes(rng: random.Random, total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` non-negative integers, roughly even."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    cuts = sorted(rng.randrange(total + 1) for _ in range(parts - 1))
+    sizes: List[int] = []
+    prev = 0
+    for c in cuts + [total]:
+        sizes.append(c - prev)
+        prev = c
+    return sizes

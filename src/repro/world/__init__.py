@@ -1,0 +1,57 @@
+"""Synthetic ground-truth Internet: entities, builder, forwarding model."""
+
+from repro.world.build import WorldConfig, build_world
+from repro.world.entities import (
+    ClientAS,
+    CloudExchange,
+    ColoFacility,
+    Interconnection,
+    Interface,
+    IXP,
+    PeeringType,
+    RegionTruth,
+    Router,
+    RouterRole,
+)
+from repro.world.model import PathPlan, PlanHop, Slash24Route, World
+from repro.world.profiles import (
+    ALL_GROUPS,
+    CENSUS_TOTAL,
+    GROUP_STATS,
+    HYBRID_CENSUS,
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+)
+
+__all__ = [
+    "ALL_GROUPS",
+    "CENSUS_TOTAL",
+    "ClientAS",
+    "CloudExchange",
+    "ColoFacility",
+    "GROUP_STATS",
+    "HYBRID_CENSUS",
+    "IXP",
+    "Interconnection",
+    "Interface",
+    "PathPlan",
+    "PeeringType",
+    "PlanHop",
+    "PB_B",
+    "PB_NB",
+    "PR_B_NV",
+    "PR_B_V",
+    "PR_NB_NV",
+    "PR_NB_V",
+    "RegionTruth",
+    "Router",
+    "RouterRole",
+    "Slash24Route",
+    "World",
+    "WorldConfig",
+    "build_world",
+]

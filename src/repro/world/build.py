@@ -1,0 +1,1030 @@
+"""World construction: configuration and the ``build_world`` orchestrator.
+
+``build_world(WorldConfig(...))`` produces a fully wired :class:`World`:
+clouds with regions and VMs, colo facilities, IXPs, cloud exchanges, the
+client-AS population sampled from the paper's Table 6 census, and every
+interconnection with its ground-truth attributes.  The build is fully
+deterministic in ``(seed, config)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.net.asn import (
+    AMAZON_ASNS,
+    AMAZON_ORG_ID,
+    AMAZON_PRIMARY_ASN,
+    ASInfo,
+    ASRegistry,
+    CLOUD_ORG_IDS,
+    OTHER_CLOUD_ASNS,
+)
+from repro.net.geo import MetroCatalog
+from repro.net.ip import (
+    AddressPool,
+    InterconnectSubnet,
+    IPv4,
+    Prefix,
+    PrefixAllocator,
+)
+from repro.net.rng import bounded_lognormal, coin, make_rng, sample_counts, zipf_sample
+from repro.world.addressing import AddressPlan
+from repro.world.clouds import AMAZON_DX_METROS, CLOUD_SPECS, OTHER_CLOUDS
+from repro.world.dns import synthesize_cbi_name
+from repro.world.entities import (
+    ClientAS,
+    CloudExchange,
+    ColoFacility,
+    Interconnection,
+    Interface,
+    IXP,
+    PeeringType,
+    RegionTruth,
+    Router,
+    RouterRole,
+)
+from repro.world.model import PlanHop, World
+from repro.world.peerings import (
+    AmazonBorderPool,
+    ClientFabric,
+    IdSource,
+    register_interconnect_subnet,
+)
+from repro.world.profiles import (
+    CENSUS_TOTAL,
+    GROUP_STATS,
+    HYBRID_CENSUS,
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+    group_is_bgp_visible,
+    group_is_public,
+    group_is_virtual,
+)
+from repro.world.topology import ClientASBuilder
+
+#: Synthetic transit backbone ASes.  The first also carries the other
+#: clouds' fallback paths; clients buy transit from one or two of them,
+#: which gives bdrmap's thirdparty heuristic conflicting answers across
+#: regions (§8) exactly as mixed provider sets do in the wild.
+FALLBACK_TRANSIT_ASN = 64500
+TRANSIT_ASNS = (64500, 64501, 64502)
+
+
+@dataclass
+class WorldConfig:
+    """All knobs of the synthetic Internet.
+
+    ``scale`` is the fraction of the paper's 3,548 peer ASes to generate;
+    the default 0.1 produces a study that runs in seconds while preserving
+    every population *shape* the benchmarks compare against the paper.
+    """
+
+    seed: int = 7
+    scale: float = 0.1
+
+    # --- geography / infrastructure -----------------------------------
+    ixp_count: int = 60
+    multi_metro_ixp_rate: float = 0.10
+    dx_metro_count: int = 40
+    facilities_per_amazon_metro: int = 2
+
+    # --- interconnection texture ---------------------------------------
+    #: chance a fresh ABI interface is created instead of reusing one.
+    new_abi_rate: float = 0.16
+    #: chance an interconnection sits behind parallel (ECMP) Amazon links.
+    ecmp_rate: float = 0.35
+    #: chance the path crosses a second border interface (two-tier metro
+    #: edge) just before the ABI -- the source of Fig. 3 hybrid evidence.
+    aggregation_hop_rate: float = 0.5
+    #: chance a VPI reuses the client's existing port (DX-Gateway style
+    #: multi-region virtual interfaces on one physical port).
+    multi_region_port_rate: float = 0.35
+    #: chance a non-region DX location is layer-2 backhauled to the parent
+    #: region's border routers.
+    dx_backhaul_rate: float = 0.3
+    #: chance a private interconnection is provisioned at a distant region
+    #: (workload locality: clients connect where their VMs run, §7.4's
+    #: intercontinental remote peerings).
+    intercontinental_rate: float = 0.06
+    #: fraction of ABI addresses drawn from unannounced Amazon space
+    #: (Table 1: 61.6% of ABIs are WHOIS-only).
+    abi_whois_rate: float = 0.62
+    #: chance that Amazon supplies the interconnect /30 (Fig. 2 overshoot).
+    amazon_provided_subnet_rate: float = 0.15
+    #: chance an interconnection carries no destination traffic and is
+    #: therefore only discoverable via round-2 expansion probing (§4.2).
+    backup_icx_rate: float = 0.12
+    #: fraction of Pr-nB-nV interconnections that are *truly* virtual but
+    #: invisible to multi-cloud detection (§7.3's hypothesis).
+    hidden_vpi_in_prnbnv_rate: float = 0.30
+    #: chance a VPI port answers probes from every cloud with one address.
+    shared_port_response_rate: float = 0.97
+    #: extra VPIs established on private addresses (never observable).
+    private_vpi_rate: float = 0.03
+
+    # --- BGP / WHOIS texture --------------------------------------------
+    #: chance a client's infrastructure block is announced at round 1.
+    infra_announced_r1_rate: float = 0.62
+    #: of the unannounced ones, chance it is announced by round 2
+    #: (Table 1's WHOIS% collapse from 24.8% to 2.3%).
+    infra_late_announce_rate: float = 0.92
+
+    # --- responsiveness --------------------------------------------------
+    dest_response_rate: float = 0.18
+    router_unresponsive_rate: float = 0.04
+    #: fraction of client border routers answering with their default
+    #: interface instead of the incoming one (a per-router property).
+    third_party_response_rate: float = 0.06
+    cbi_public_reachable_rate: float = 0.70
+    abi_public_reachable_rate: float = 0.03
+    single_region_visibility_rate: float = 0.045
+    #: chance an interface answers ICMP echo at all (pinning input).
+    icmp_response_rate: float = 0.85
+
+    # --- measurement noise ------------------------------------------------
+    probe_loss_rate: float = 0.01
+    loop_rate: float = 0.002
+    ping_jitter_ms: float = 0.25
+    hop_processing_ms: float = 0.08
+
+    # --- sweep universe ---------------------------------------------------
+    amazon_sweep_fraction: float = 0.06
+    dead_sweep_fraction: float = 0.18
+
+    # --- DNS -------------------------------------------------------------
+    dns_false_hint_rate: float = 0.02
+
+    def peer_as_count(self) -> int:
+        return max(10, int(round(CENSUS_TOTAL * self.scale)))
+
+
+@dataclass
+class _Pools:
+    """Address pools carved at build time (internal)."""
+
+    announced: Dict[str, AddressPool] = field(default_factory=dict)
+    infra: Dict[str, AddressPool] = field(default_factory=dict)
+    dx_allocators: Dict[str, PrefixAllocator] = field(default_factory=dict)
+    private: Optional[AddressPool] = None
+    ixp: Dict[int, AddressPool] = field(default_factory=dict)
+    transit: Optional[AddressPool] = None
+
+
+def _register_cloud_ases(registry: ASRegistry) -> None:
+    for asn in sorted(AMAZON_ASNS):
+        registry.add(
+            ASInfo(
+                asn=asn,
+                name=f"amazon-as{asn}",
+                org_id=AMAZON_ORG_ID,
+                kind="cloud",
+                siblings=sorted(AMAZON_ASNS - {asn}),
+            )
+        )
+    for name, asn in OTHER_CLOUD_ASNS.items():
+        registry.add(
+            ASInfo(asn=asn, name=f"{name}-cloud", org_id=CLOUD_ORG_IDS[name], kind="cloud")
+        )
+    for i, asn in enumerate(TRANSIT_ASNS):
+        registry.add(
+            ASInfo(
+                asn=asn,
+                name=f"global-transit-{i + 1}",
+                org_id=f"ORG-GTRANSIT{i + 1}",
+                kind="tier1",
+            )
+        )
+
+
+def _carve_cloud_blocks(world: World, plan: AddressPlan, pools: _Pools) -> None:
+    for name, spec in CLOUD_SPECS.items():
+        announced = plan.cloud_block(spec.superblock, 12, spec.primary_asn)
+        infra = plan.cloud_block(spec.superblock, 12, spec.primary_asn)
+        pools.announced[name] = AddressPool(announced)
+        pools.infra[name] = AddressPool(infra)
+        world.cloud_announced_blocks[name] = [announced]
+        world.cloud_infra_blocks[name] = [infra]
+        # Provider-supplied interconnect /30s come from *announced* space.
+        dx_block = plan.cloud_block(spec.superblock, 14, spec.primary_asn)
+        pools.dx_allocators[name] = PrefixAllocator(dx_block)
+        world.cloud_announced_blocks[name].append(dx_block)
+    pools.private = AddressPool(Prefix.parse("10.0.0.0/8"))
+    transit_block = plan.transit_link_block(FALLBACK_TRANSIT_ASN, "global-transit", 16)
+    pools.transit = AddressPool(transit_block)
+
+
+def _build_facilities(world: World, ids: IdSource, rng, config: WorldConfig) -> Dict[str, List[int]]:
+    """Facilities per metro; Amazon is native at region + DX metros."""
+    amazon_metros = {code for _r, code in CLOUD_SPECS["amazon"].region_metros}
+    dx = list(AMAZON_DX_METROS[: config.dx_metro_count])
+    facs_by_metro: Dict[str, List[int]] = {}
+    for metro in world.catalog:
+        count = (
+            config.facilities_per_amazon_metro
+            if metro.code in amazon_metros
+            else 1
+        )
+        for i in range(count):
+            fac = ColoFacility(
+                facility_id=ids.take(),
+                name=f"colo-{metro.code.lower()}-{i + 1}",
+                metro_code=metro.code,
+                partner_reach=True,
+            )
+            if metro.code in amazon_metros or metro.code in dx:
+                fac.native_clouds.add("amazon")
+                if coin(rng, 0.8):
+                    fac.has_cloud_exchange = True
+            world.facilities[fac.facility_id] = fac
+            facs_by_metro.setdefault(metro.code, []).append(fac.facility_id)
+    return facs_by_metro
+
+
+def _build_ixps(
+    world: World,
+    ids: IdSource,
+    rng,
+    config: WorldConfig,
+    plan: AddressPlan,
+    pools: _Pools,
+    facs_by_metro: Dict[str, List[int]],
+) -> None:
+    codes = world.catalog.codes()
+    for i in range(config.ixp_count):
+        primary = codes[rng.randrange(len(codes))]
+        metros: Tuple[str, ...] = (primary,)
+        if coin(rng, config.multi_metro_ixp_rate):
+            second = codes[rng.randrange(len(codes))]
+            if second != primary:
+                metros = (primary, second)
+        prefix = plan.ixp_lan(f"ixp-{i + 1}", 22)
+        ixp = IXP(
+            ixp_id=ids.take(),
+            name=f"IXP-{primary}-{i + 1}",
+            prefix=prefix,
+            metro_codes=metros,
+        )
+        world.ixps[ixp.ixp_id] = ixp
+        pools.ixp[ixp.ixp_id] = AddressPool(prefix)
+        for fac_id in facs_by_metro.get(primary, [])[:1]:
+            world.facilities[fac_id].ixp_ids.add(ixp.ixp_id)
+
+
+def _build_amazon_regions(
+    world: World, ids: IdSource, rng, config: WorldConfig, pools: _Pools
+) -> None:
+    spec = CLOUD_SPECS["amazon"]
+    world.regions["amazon"] = {}
+    for region_name, metro_code in spec.region_metros:
+        internal: List[Tuple[int, IPv4]] = []
+        # Hop 1: private-addressed aggregation router (maps to AS0, §3).
+        r1 = Router(
+            router_id=ids.take(),
+            owner_asn=AMAZON_PRIMARY_ASN,
+            role=RouterRole.CLOUD_INTERNAL,
+            metro_code=metro_code,
+        )
+        world.add_router(r1)
+        ip1 = pools.private.allocate()
+        world.add_interface(Interface(ip=ip1, router_id=r1.router_id, addr_owner_asn=0))
+        world.via_metros[ip1] = (metro_code,)
+        internal.append((r1.router_id, ip1))
+        # Hops 2-3: Amazon-addressed core routers.
+        for pool in (pools.announced["amazon"], pools.infra["amazon"]):
+            router = Router(
+                router_id=ids.take(),
+                owner_asn=AMAZON_PRIMARY_ASN,
+                role=RouterRole.CLOUD_INTERNAL,
+                metro_code=metro_code,
+            )
+            world.add_router(router)
+            ip = pool.allocate()
+            world.add_interface(
+                Interface(ip=ip, router_id=router.router_id, addr_owner_asn=AMAZON_PRIMARY_ASN)
+            )
+            world.via_metros[ip] = (metro_code,)
+            internal.append((router.router_id, ip))
+
+        vm_ip = pools.announced["amazon"].allocate()
+        world.regions["amazon"][region_name] = RegionTruth(
+            cloud="amazon",
+            name=region_name,
+            metro_code=metro_code,
+            vm_ip=vm_ip,
+            internal_path=internal,
+        )
+
+        # One backbone hop used when egressing through another metro.
+        bb = Router(
+            router_id=ids.take(),
+            owner_asn=AMAZON_PRIMARY_ASN,
+            role=RouterRole.CLOUD_INTERNAL,
+            metro_code=metro_code,
+        )
+        world.add_router(bb)
+        bb_ip = pools.infra["amazon"].allocate()
+        world.add_interface(
+            Interface(ip=bb_ip, router_id=bb.router_id, addr_owner_asn=AMAZON_PRIMARY_ASN)
+        )
+        world.via_metros[bb_ip] = (metro_code,)
+        world.backbone_hops[("amazon", region_name)] = PlanHop(
+            router_id=bb.router_id, ip=bb_ip, metro_code=metro_code
+        )
+
+
+def _build_other_cloud_regions(
+    world: World, ids: IdSource, rng, config: WorldConfig, pools: _Pools
+) -> None:
+    for cloud in OTHER_CLOUDS:
+        spec = CLOUD_SPECS[cloud]
+        world.regions[cloud] = {}
+        world.other_cloud_icx[cloud] = {}
+        for region_name, metro_code in spec.region_metros:
+            internal: List[Tuple[int, IPv4]] = []
+            for pool, owner in (
+                (pools.private, 0),
+                (pools.announced[cloud], spec.primary_asn),
+            ):
+                router = Router(
+                    router_id=ids.take(),
+                    owner_asn=spec.primary_asn,
+                    role=RouterRole.CLOUD_INTERNAL,
+                    metro_code=metro_code,
+                )
+                world.add_router(router)
+                ip = pool.allocate()
+                world.add_interface(
+                    Interface(ip=ip, router_id=router.router_id, addr_owner_asn=owner)
+                )
+                world.via_metros[ip] = (metro_code,)
+                internal.append((router.router_id, ip))
+            vm_ip = pools.announced[cloud].allocate()
+            world.regions[cloud][region_name] = RegionTruth(
+                cloud=cloud,
+                name=region_name,
+                metro_code=metro_code,
+                vm_ip=vm_ip,
+                internal_path=internal,
+            )
+            # Border hop toward the Internet, plus a generic transit hop.
+            border = Router(
+                router_id=ids.take(),
+                owner_asn=spec.primary_asn,
+                role=RouterRole.CLOUD_BORDER,
+                metro_code=metro_code,
+            )
+            world.add_router(border)
+            bip = pools.infra[cloud].allocate()
+            world.add_interface(
+                Interface(ip=bip, router_id=border.router_id, addr_owner_asn=spec.primary_asn)
+            )
+            world.via_metros[bip] = (metro_code,)
+            world.cloud_border_hops[(cloud, region_name)] = PlanHop(
+                router_id=border.router_id, ip=bip, metro_code=metro_code
+            )
+            transit = Router(
+                router_id=ids.take(),
+                owner_asn=FALLBACK_TRANSIT_ASN,
+                role=RouterRole.TRANSIT,
+                metro_code=metro_code,
+            )
+            world.add_router(transit)
+            tip = pools.transit.allocate()
+            world.add_interface(
+                Interface(ip=tip, router_id=transit.router_id, addr_owner_asn=FALLBACK_TRANSIT_ASN)
+            )
+            world.via_metros[tip] = (metro_code,)
+            world.transit_hops[(cloud, region_name)] = PlanHop(
+                router_id=transit.router_id, ip=tip, metro_code=metro_code
+            )
+
+
+class _InterconnectionFactory:
+    """Creates Amazon interconnections for one client AS at a time."""
+
+    GROUP_TO_PTYPE = {
+        PB_NB: PeeringType.PUBLIC_IXP,
+        PB_B: PeeringType.PUBLIC_IXP,
+        PR_NB_V: PeeringType.PRIVATE_VIRTUAL,
+        PR_B_V: PeeringType.PRIVATE_VIRTUAL,
+        PR_NB_NV: PeeringType.PRIVATE_PHYSICAL,
+        PR_B_NV: PeeringType.PRIVATE_PHYSICAL,
+    }
+
+    def __init__(
+        self,
+        world: World,
+        ids: IdSource,
+        rng,
+        config: WorldConfig,
+        plan: AddressPlan,
+        pools: _Pools,
+        amazon_pool: AmazonBorderPool,
+        fabric: ClientFabric,
+        infra_cursor: Dict[Prefix, int],
+        facs_by_metro: Dict[str, List[int]],
+    ) -> None:
+        self.world = world
+        self.ids = ids
+        self.rng = rng
+        self.config = config
+        self.plan = plan
+        self.pools = pools
+        self.amazon_pool = amazon_pool
+        self.fabric = fabric
+        self.infra_cursor = infra_cursor
+        self.facs_by_metro = facs_by_metro
+        self._amazon_ixps = [
+            ixp
+            for ixp in world.ixps.values()
+            if amazon_pool.has_metro(ixp.metro_codes[0])
+        ]
+        self._exchange_by_metro: Dict[str, CloudExchange] = {}
+        self.backup_icx_ids: Set[int] = set()
+        self._site_ixp_cache: Dict[Tuple[str, str], int] = {}
+        self._region_metros = {m for _r, m in CLOUD_SPECS["amazon"].region_metros}
+        #: client asn -> last created VPI port (subnet, owner, router, shared)
+        self._ports_by_client: Dict[int, Tuple[InterconnectSubnet, int, int, bool]] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _nearest_amazon_metro(self, code: str, prefer_region: bool) -> str:
+        candidates = self.amazon_pool.metros()
+        if prefer_region:
+            region_metros = [
+                m for _r, m in CLOUD_SPECS["amazon"].region_metros if m in candidates
+            ]
+            if region_metros:
+                candidates = region_metros
+        return min(
+            candidates, key=lambda m: self.world.catalog.distance_km(code, m)
+        )
+
+    def _exchange_at(self, metro_code: str) -> CloudExchange:
+        exchange = self._exchange_by_metro.get(metro_code)
+        if exchange is not None:
+            return exchange
+        fac_ids = [
+            f
+            for f in self.facs_by_metro.get(metro_code, [])
+            if self.world.facilities[f].native_clouds
+        ] or self.facs_by_metro.get(metro_code, [None])
+        fac_id = fac_ids[0]
+        exchange = CloudExchange(
+            exchange_id=self.ids.take(),
+            facility_id=fac_id if fac_id is not None else -1,
+            metro_code=metro_code,
+        )
+        self.world.exchanges[exchange.exchange_id] = exchange
+        self._exchange_by_metro[metro_code] = exchange
+        return exchange
+
+    def _infra_block_of(self, client: ClientAS) -> Prefix:
+        infra = [
+            a.prefix
+            for a in self.plan.allocations_of("infra")
+            if a.owner_asn == client.asn
+        ]
+        return infra[0]
+
+    def _ensure_loopback(self, client: ClientAS, router_id: int) -> None:
+        """First interface of a client border router is its loopback.
+
+        Routers answering with a third-party address use this (their
+        "default") interface, so those artifacts surface a client-owned
+        address -- never a cloud-side port (§7.1's soundness argument).
+        """
+        router = self.world.routers[router_id]
+        if router.interface_ips:
+            return
+        block = self._infra_block_of(client)
+        offset = self.infra_cursor.get(block, 0)
+        ip = block.network + offset
+        self.infra_cursor[block] = offset + 4
+        self.world.add_interface(
+            Interface(ip=ip, router_id=router_id, addr_owner_asn=client.asn)
+        )
+        self.world.via_metros[ip] = (router.metro_code or client.home_metro,)
+
+    def _draw_vpi_clouds(self) -> FrozenSet[str]:
+        chosen = {"amazon"}
+        if coin(self.rng, 0.936):
+            chosen.add("microsoft")
+        if coin(self.rng, 0.157):
+            chosen.add("google")
+        if coin(self.rng, 0.046):
+            chosen.add("ibm")
+        if chosen == {"amazon"}:
+            chosen.add("microsoft")
+        return frozenset(chosen)
+
+    # -- main entry --------------------------------------------------------
+
+    def build_group(self, client: ClientAS, group: str, kind: str) -> None:
+        stats = GROUP_STATS[group]
+        n_cbi = bounded_lognormal(self.rng, stats.cbis_per_as, 0.9, 1, 200)
+        n_sites = min(
+            n_cbi, bounded_lognormal(self.rng, max(stats.metro_spread, 1.0), 0.5, 1, 20)
+        )
+        footprint = list(client.footprint_metros)
+        self.rng.shuffle(footprint)
+        sites: List[Tuple[str, str, bool]] = []
+        for i in range(n_sites):
+            client_metro = footprint[i % len(footprint)]
+            if group in (PB_NB, PB_B):
+                sites.append(self._ixp_site(client_metro))
+            elif coin(self.rng, self.config.intercontinental_rate):
+                # The client provisions the interconnect next to the AWS
+                # region hosting its workloads, which may be far away.
+                region_metros = [m for _r, m in CLOUD_SPECS["amazon"].region_metros]
+                fabric_metro = region_metros[self.rng.randrange(len(region_metros))]
+                sites.append(
+                    (fabric_metro, client_metro, fabric_metro != client_metro)
+                )
+            elif self.amazon_pool.has_metro(client_metro):
+                sites.append((client_metro, client_metro, False))
+            else:
+                fabric_metro = self._nearest_amazon_metro(
+                    client_metro, prefer_region=coin(self.rng, 0.35)
+                )
+                sites.append((fabric_metro, client_metro, True))
+        for j in range(n_cbi):
+            fabric_metro, client_metro, remote = sites[j % len(sites)]
+            if group in (PB_NB, PB_B):
+                self._build_public_icx(client, group, kind, fabric_metro, client_metro, remote)
+            else:
+                self._build_private_icx(client, group, kind, fabric_metro, client_metro, remote)
+
+    def _ixp_site(self, client_metro: str) -> Tuple[str, str, bool]:
+        """Pick an IXP for a member at ``client_metro`` (possibly remote)."""
+        ranked = sorted(
+            self._amazon_ixps,
+            key=lambda x: self.world.catalog.distance_km(client_metro, x.metro_codes[0]),
+        )
+        pool = ranked[:6] if len(ranked) >= 6 else ranked
+        pick = pool[zipf_sample(self.rng, len(pool), alpha=1.1) - 1]
+        fabric_metro = pick.metro_codes[0]
+        remote = fabric_metro != client_metro
+        self._site_ixp_cache[(fabric_metro, client_metro)] = pick.ixp_id
+        return fabric_metro, client_metro, remote
+
+    def _build_public_icx(
+        self,
+        client: ClientAS,
+        group: str,
+        kind: str,
+        fabric_metro: str,
+        client_metro: str,
+        remote: bool,
+    ) -> None:
+        ixp_id = self._site_ixp_cache.get((fabric_metro, client_metro))
+        if ixp_id is None:
+            _f, _c, _r = self._ixp_site(client_metro)
+            ixp_id = self._site_ixp_cache[(_f, _c)]
+            fabric_metro = _f
+            remote = _r
+        ixp = self.world.ixps[ixp_id]
+        abi_router, abi_ip = self.amazon_pool.acquire_abi(fabric_metro, f"ixp-{ixp_id}")
+        router_id = self.fabric.border_router(
+            client.asn, client_metro, self.config.router_unresponsive_rate
+        )
+        self._ensure_loopback(client, router_id)
+        cbi_ip = self.pools.ixp[ixp_id].allocate()
+        via = (fabric_metro,) if not remote else (fabric_metro, client_metro)
+        self.fabric.add_cbi_interface(
+            router_id, cbi_ip, client.asn, via_metros=via
+        )
+        ixp.member_ips.setdefault(client.asn, []).append(cbi_ip)
+        self._finish_icx(
+            client,
+            group,
+            Interconnection(
+                icx_id=self.ids.take(),
+                cloud="amazon",
+                peer_asn=client.asn,
+                ptype=PeeringType.PUBLIC_IXP,
+                bgp_visible=group_is_bgp_visible(group),
+                abi_router_id=abi_router,
+                abi_ip=abi_ip,
+                cbi_router_id=router_id,
+                cbi_ip=cbi_ip,
+                metro_code=fabric_metro,
+                client_metro_code=client_metro,
+                ixp_id=ixp_id,
+                remote=remote,
+            ),
+        )
+
+    def _build_private_icx(
+        self,
+        client: ClientAS,
+        group: str,
+        kind: str,
+        fabric_metro: str,
+        client_metro: str,
+        remote: bool,
+    ) -> None:
+        cfg = self.config
+        virtual = group_is_virtual(group)
+        ptype = self.GROUP_TO_PTYPE[group]
+        # §7.3: a slice of the "physical" Pr-nB-nV population is secretly
+        # virtual -- single-cloud VPIs our detection cannot see.
+        hidden_vpi = group == PR_NB_NV and coin(self.rng, cfg.hidden_vpi_in_prnbnv_rate)
+        if hidden_vpi:
+            ptype = PeeringType.PRIVATE_VIRTUAL
+
+        provided_by = (
+            "provider" if coin(self.rng, cfg.amazon_provided_subnet_rate) else "client"
+        )
+        # Multi-region VPI ports (DX-Gateway style): one cloud-exchange port
+        # carries virtual interfaces to several Amazon locations, so the
+        # same CBI shows up behind ABIs in different regions -- the main
+        # cross-region glue in the ICG (§7.4).
+        reuse_port = None
+        if (virtual or hidden_vpi) and coin(self.rng, cfg.multi_region_port_rate):
+            reuse_port = self._ports_by_client.get(client.asn)
+
+        if reuse_port is not None:
+            subnet, addr_owner, router_id, shared = reuse_port
+        elif provided_by == "client":
+            subnet = self.plan.carve_interconnect(
+                "client",
+                self._infra_block_of(client),
+                None,
+                self.infra_cursor,
+            )
+            addr_owner = client.asn
+        else:
+            subnet = InterconnectSubnet.carve(
+                self.pools.dx_allocators["amazon"], "provider", 30
+            )
+            addr_owner = AMAZON_PRIMARY_ASN
+
+        # Some DX locations are layer-2 backhauled to the parent region's
+        # border routers; the Amazon-side interface then physically sits
+        # at the region metro.
+        abi_metro = fabric_metro
+        abi_metro_code = None
+        if fabric_metro not in self._region_metros and coin(
+            self.rng, cfg.dx_backhaul_rate
+        ):
+            abi_metro = self._nearest_amazon_metro(fabric_metro, prefer_region=True)
+            abi_metro_code = abi_metro
+
+        abi_router, abi_ip = self.amazon_pool.acquire_abi(abi_metro, "private")
+        abi_ecmp: Tuple[IPv4, ...] = ()
+        if coin(self.rng, cfg.ecmp_rate):
+            extra = {abi_ip}
+            for _ in range(self.rng.choice((1, 1, 2, 3))):
+                _rid, ip = self.amazon_pool.acquire_abi(abi_metro, "private")
+                extra.add(ip)
+            abi_ecmp = tuple(sorted(extra))
+        agg_abi_ip = None
+        if coin(self.rng, cfg.aggregation_hop_rate):
+            _rid, agg = self.amazon_pool.acquire_abi(abi_metro, "private")
+            if agg != abi_ip and agg not in abi_ecmp:
+                agg_abi_ip = agg
+
+        via = (fabric_metro,) if not remote else (fabric_metro, client_metro)
+        vpi_clouds: FrozenSet[str] = frozenset()
+        if reuse_port is None:
+            router_id = self.fabric.border_router(
+                client.asn, client_metro, cfg.router_unresponsive_rate
+            )
+            self._ensure_loopback(client, router_id)
+            shared = False
+        if virtual:
+            vpi_clouds = self._draw_vpi_clouds()
+            if reuse_port is None:
+                shared = coin(self.rng, cfg.shared_port_response_rate)
+        elif hidden_vpi:
+            vpi_clouds = frozenset({"amazon"})
+        if reuse_port is None:
+            self.fabric.add_cbi_interface(
+                router_id,
+                subnet.client_side,
+                addr_owner,
+                via_metros=via,
+                shared_port_response=shared,
+            )
+            if virtual or hidden_vpi:
+                self._ports_by_client[client.asn] = (
+                    subnet,
+                    addr_owner,
+                    router_id,
+                    shared,
+                )
+        exchange_id = None
+        if virtual or hidden_vpi:
+            exchange = self._exchange_at(fabric_metro)
+            exchange.ports.setdefault(client.asn, []).append(subnet.client_side)
+            exchange_id = exchange.exchange_id
+        icx = Interconnection(
+            icx_id=self.ids.take(),
+            cloud="amazon",
+            peer_asn=client.asn,
+            ptype=ptype,
+            bgp_visible=group_is_bgp_visible(group),
+            abi_router_id=abi_router,
+            abi_ip=abi_ip,
+            abi_ecmp=abi_ecmp,
+            agg_abi_ip=agg_abi_ip,
+            abi_metro_code=abi_metro_code,
+            cbi_router_id=router_id,
+            cbi_ip=subnet.client_side,
+            metro_code=fabric_metro,
+            client_metro_code=client_metro,
+            subnet=subnet,
+            exchange_id=exchange_id,
+            vpi_clouds=vpi_clouds,
+            remote=remote,
+        )
+        self._finish_icx(client, group, icx)
+        if reuse_port is None:
+            register_interconnect_subnet(self.world, subnet, icx.icx_id, "amazon")
+        # Also add the provider-side address as an interface of the Amazon
+        # border router (never answers traceroute from inside, but it is a
+        # real interface that alias resolution may reveal).
+        if subnet.provider_side not in self.world.interfaces:
+            self.world.add_interface(
+                Interface(
+                    ip=subnet.provider_side,
+                    router_id=abi_router,
+                    addr_owner_asn=addr_owner
+                    if subnet.provided_by == "client"
+                    else AMAZON_PRIMARY_ASN,
+                )
+            )
+            self.world.via_metros[subnet.provider_side] = (fabric_metro,)
+
+    def _finish_icx(self, client: ClientAS, group: str, icx: Interconnection) -> None:
+        self.world.interconnections[icx.icx_id] = icx
+        client.icx_ids.append(icx.icx_id)
+        if coin(self.rng, self.config.backup_icx_rate):
+            self.backup_icx_ids.add(icx.icx_id)
+
+    def build_private_address_vpi(self, client: ClientAS) -> None:
+        """A VPI on private addresses: exists, but can never be observed."""
+        fabric_metro = self._nearest_amazon_metro(client.home_metro, prefer_region=True)
+        abi_router, abi_ip = self.amazon_pool.acquire_abi(fabric_metro, "private")
+        router_id = self.fabric.border_router(
+            client.asn, client.home_metro, self.config.router_unresponsive_rate
+        )
+        self._ensure_loopback(client, router_id)
+        cbi_ip = self.pools.private.allocate()
+        self.fabric.add_cbi_interface(router_id, cbi_ip, 0, via_metros=(fabric_metro,))
+        icx = Interconnection(
+            icx_id=self.ids.take(),
+            cloud="amazon",
+            peer_asn=client.asn,
+            ptype=PeeringType.PRIVATE_VIRTUAL,
+            bgp_visible=False,
+            abi_router_id=abi_router,
+            abi_ip=abi_ip,
+            cbi_router_id=router_id,
+            cbi_ip=cbi_ip,
+            metro_code=fabric_metro,
+            client_metro_code=client.home_metro,
+            uses_private_addresses=True,
+            vpi_clouds=frozenset({"amazon"}),
+        )
+        self.world.interconnections[icx.icx_id] = icx
+        client.icx_ids.append(icx.icx_id)
+
+
+def _mirror_vpis_on_other_clouds(
+    world: World, ids: IdSource, rng, config: WorldConfig, pools: _Pools
+) -> None:
+    """Create the other clouds' side of every multi-cloud VPI port."""
+    other_pools: Dict[str, AmazonBorderPool] = {}
+    for cloud in OTHER_CLOUDS:
+        other_pools[cloud] = AmazonBorderPool(
+            world,
+            ids,
+            rng,
+            announced_pool=pools.announced[cloud],
+            infra_pool=pools.infra[cloud],
+            abi_whois_rate=0.5,
+            new_abi_rate=0.3,
+            owner_asn=CLOUD_SPECS[cloud].primary_asn,
+        )
+    for icx in list(world.interconnections.values()):
+        others = sorted(set(icx.vpi_clouds) - {"amazon"})
+        if not others or icx.uses_private_addresses:
+            continue
+        for cloud in others:
+            pool = other_pools[cloud]
+            pool.ensure_metro(icx.metro_code, 1, None)
+            abi_router, abi_ip = pool.acquire_abi(icx.metro_code, "private")
+            port_iface = world.interfaces.get(icx.cbi_ip)
+            if port_iface is not None and port_iface.shared_port_response:
+                cbi_ip = icx.cbi_ip
+                cbi_router = icx.cbi_router_id
+            else:
+                # Distinct per-cloud response address: undetectable VPI.
+                cbi_ip = pools.infra[cloud].allocate()
+                cbi_router = icx.cbi_router_id
+                world.add_interface(
+                    Interface(
+                        ip=cbi_ip,
+                        router_id=cbi_router,
+                        addr_owner_asn=CLOUD_SPECS[cloud].primary_asn,
+                    )
+                )
+                world.via_metros[cbi_ip] = world.via_metros.get(
+                    icx.cbi_ip, (icx.metro_code,)
+                )
+            mirror = Interconnection(
+                icx_id=ids.take(),
+                cloud=cloud,
+                peer_asn=icx.peer_asn,
+                ptype=PeeringType.PRIVATE_VIRTUAL,
+                bgp_visible=False,
+                abi_router_id=abi_router,
+                abi_ip=abi_ip,
+                cbi_router_id=cbi_router,
+                cbi_ip=cbi_ip,
+                metro_code=icx.metro_code,
+                client_metro_code=icx.client_metro_code,
+                vpi_clouds=icx.vpi_clouds,
+                remote=icx.remote,
+            )
+            world.other_cloud_icx[cloud][mirror.icx_id] = mirror
+            world.client_other_egress.setdefault((cloud, icx.peer_asn), []).append(
+                mirror.icx_id
+            )
+            world.mirror_of[(cloud, icx.icx_id)] = mirror.icx_id
+
+
+def _assign_dns_names(world: World, rng, config: WorldConfig) -> None:
+    for icx in world.interconnections.values():
+        if icx.uses_private_addresses:
+            continue
+        iface = world.interfaces.get(icx.cbi_ip)
+        if iface is None or iface.dns_name is not None:
+            continue
+        info = world.as_registry.maybe(icx.peer_asn)
+        kind = info.kind if info else "enterprise"
+        name = info.name if info else f"as{icx.peer_asn}"
+        metro = world.catalog.get(icx.client_metro_code)
+        iface.dns_name = synthesize_cbi_name(
+            kind=kind,
+            as_name=name,
+            metro=metro,
+            ip=icx.cbi_ip,
+            rng=rng,
+            is_vpi=icx.is_virtual,
+            false_hint_rate=config.dns_false_hint_rate,
+            catalog=world.catalog,
+        )
+
+
+def _assign_visibility(world: World, rng, config: WorldConfig) -> None:
+    abis = world.true_abis()
+    cbis = world.true_cbis()
+    region_metros = [
+        (name, rt.metro_code) for name, rt in world.regions["amazon"].items()
+    ]
+    for ip, iface in world.interfaces.items():
+        if ip in abis:
+            if coin(rng, config.abi_public_reachable_rate):
+                world.publicly_reachable.add(ip)
+        elif ip in cbis:
+            if coin(rng, config.cbi_public_reachable_rate):
+                world.publicly_reachable.add(ip)
+        elif coin(rng, 0.4):
+            world.publicly_reachable.add(ip)
+        if (ip in abis or ip in cbis) and coin(
+            rng, config.single_region_visibility_rate
+        ):
+            legs = world.via_metros.get(ip)
+            anchor = legs[0] if legs else region_metros[0][1]
+            nearest = min(
+                region_metros,
+                key=lambda rm: world.catalog.distance_km(anchor, rm[1]),
+            )
+            world.ping_region_limit[ip] = {nearest[0]}
+
+
+def _finalize_sweep(world: World, rng, config: WorldConfig) -> None:
+    seen: Set[int] = set()
+    unique: List[Prefix] = []
+    for p24 in world.sweep_slash24s:
+        if p24.network not in seen:
+            seen.add(p24.network)
+            unique.append(p24)
+    routable = len(unique)
+    # Amazon's own space (probes die inside the backbone).
+    amazon_block = world.cloud_announced_blocks["amazon"][0]
+    n_amazon = int(routable * config.amazon_sweep_fraction)
+    amazon_24s = list(itertools.islice(amazon_block.slash24s(), n_amazon))
+    # Dead, unallocated space.
+    dead_block = Prefix.parse("11.0.0.0/8")
+    n_dead = int(routable * config.dead_sweep_fraction)
+    dead_24s = list(itertools.islice(dead_block.slash24s(), n_dead))
+    unique.extend(amazon_24s)
+    unique.extend(dead_24s)
+    unique.sort(key=lambda p: p.network)
+    world.sweep_slash24s = unique
+
+
+def build_world(config: Optional[WorldConfig] = None) -> World:
+    """Construct the full synthetic Internet for a configuration."""
+    config = config or WorldConfig()
+    catalog = MetroCatalog()
+    registry = ASRegistry()
+    plan = AddressPlan()
+    world = World(config, catalog, registry, plan)
+    ids = IdSource()
+    rng = make_rng(config.seed, "world")
+    pools = _Pools()
+
+    _register_cloud_ases(registry)
+    _carve_cloud_blocks(world, plan, pools)
+    facs_by_metro = _build_facilities(world, ids, rng, config)
+    _build_ixps(world, ids, rng, config, plan, pools, facs_by_metro)
+    _build_amazon_regions(world, ids, rng, config, pools)
+    _build_other_cloud_regions(world, ids, rng, config, pools)
+
+    amazon_pool = AmazonBorderPool(
+        world,
+        ids,
+        rng,
+        announced_pool=pools.announced["amazon"],
+        infra_pool=pools.infra["amazon"],
+        abi_whois_rate=config.abi_whois_rate,
+        new_abi_rate=config.new_abi_rate,
+        owner_asn=AMAZON_PRIMARY_ASN,
+    )
+    amazon_metros = {m for _r, m in CLOUD_SPECS["amazon"].region_metros}
+    for metro in sorted(amazon_metros):
+        fac = facs_by_metro.get(metro, [None])[0]
+        amazon_pool.ensure_metro(metro, 2, fac)
+    for metro in AMAZON_DX_METROS[: config.dx_metro_count]:
+        fac = facs_by_metro.get(metro, [None])[0]
+        amazon_pool.ensure_metro(metro, 1, fac)
+
+    client_builder = ClientASBuilder(world, ids, rng, plan, registry, config)
+    profiles = sample_counts(
+        make_rng(config.seed, "profiles"),
+        HYBRID_CENSUS,
+        config.peer_as_count(),
+    )
+    clients = [client_builder.build_client(p) for p in profiles]
+
+    fabric = ClientFabric(world, ids, rng)
+    factory = _InterconnectionFactory(
+        world,
+        ids,
+        rng,
+        config,
+        plan,
+        pools,
+        amazon_pool,
+        fabric,
+        client_builder.infra_cursor,
+        facs_by_metro,
+    )
+    for client in clients:
+        info = registry.get(client.asn)
+        for group in sorted(client.profile):
+            factory.build_group(client, group, info.kind)
+        if coin(rng, config.private_vpi_rate):
+            factory.build_private_address_vpi(client)
+        # Every client also buys transit; the other clouds' fallback paths
+        # enter through this interface.
+        border_ids = fabric.routers_of(client.asn)
+        client.border_router_ids.extend(border_ids)
+        if border_ids:
+            tip = pools.transit.allocate()
+            world.add_interface(
+                Interface(
+                    ip=tip,
+                    router_id=border_ids[0],
+                    addr_owner_asn=FALLBACK_TRANSIT_ASN,
+                )
+            )
+            router = world.routers[border_ids[0]]
+            world.via_metros[tip] = (router.metro_code or client.home_metro,)
+            world.client_transit_iface[client.asn] = (border_ids[0], tip)
+
+    # Facility tenant lists (feeds the PeeringDB dataset).
+    for client in clients:
+        for metro in client.footprint_metros:
+            for fac_id in facs_by_metro.get(metro, [])[:1]:
+                world.facilities[fac_id].tenant_asns.add(client.asn)
+
+    client_builder.set_backups(factory.backup_icx_ids)
+    client_builder.assign_egress()
+    _mirror_vpis_on_other_clouds(world, ids, rng, config, pools)
+    _assign_dns_names(world, make_rng(config.seed, "dns"), config)
+    _assign_visibility(world, make_rng(config.seed, "visibility"), config)
+    _finalize_sweep(world, rng, config)
+    return world

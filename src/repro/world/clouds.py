@@ -1,0 +1,125 @@
+"""Cloud-provider specifications: regions, ASNs, address superblocks.
+
+Amazon gets the 15 regions the paper could use (§2-§3).  The four other
+clouds exist so that §7.1's VPI detection has vantage points to probe from;
+their internal structure is deliberately lighter than Amazon's -- the
+pipeline only ever runs *border inference* on their traceroutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.net.asn import (
+    AMAZON_PRIMARY_ASN,
+    GOOGLE_ASN,
+    IBM_ASN,
+    MICROSOFT_ASN,
+    ORACLE_ASN,
+)
+
+
+@dataclass(frozen=True)
+class CloudSpec:
+    """Static description of one cloud provider."""
+
+    name: str
+    primary_asn: int
+    #: region name -> metro code hosting its data centers
+    region_metros: Tuple[Tuple[str, str], ...]
+    superblock: str
+
+
+AMAZON_REGIONS: Tuple[Tuple[str, str], ...] = (
+    ("us-east-1", "IAD"),
+    ("us-east-2", "CMH"),
+    ("us-west-1", "SJC"),
+    ("us-west-2", "PDX"),
+    ("ca-central-1", "YUL"),
+    ("eu-west-1", "DUB"),
+    ("eu-west-2", "LHR"),
+    ("eu-west-3", "CDG"),
+    ("eu-central-1", "FRA"),
+    ("sa-east-1", "GRU"),
+    ("ap-southeast-1", "SIN"),
+    ("ap-southeast-2", "SYD"),
+    ("ap-northeast-1", "NRT"),
+    ("ap-northeast-2", "ICN"),
+    ("ap-south-1", "BOM"),
+)
+
+CLOUD_SPECS: Dict[str, CloudSpec] = {
+    "amazon": CloudSpec(
+        name="amazon",
+        primary_asn=AMAZON_PRIMARY_ASN,
+        region_metros=AMAZON_REGIONS,
+        superblock="amazon",
+    ),
+    "microsoft": CloudSpec(
+        name="microsoft",
+        primary_asn=MICROSOFT_ASN,
+        region_metros=(
+            ("az-us-east", "IAD"),
+            ("az-us-west", "SJC"),
+            ("az-us-central", "ORD"),
+            ("az-us-south", "DFW"),
+            ("az-eu-west", "AMS"),
+            ("az-eu-north", "DUB"),
+            ("az-asia-east", "HKG"),
+            ("az-asia-se", "SIN"),
+            ("az-au-east", "SYD"),
+            ("az-jp-east", "NRT"),
+        ),
+        superblock="microsoft",
+    ),
+    "google": CloudSpec(
+        name="google",
+        primary_asn=GOOGLE_ASN,
+        region_metros=(
+            ("gcp-us-east", "IAD"),
+            ("gcp-us-central", "ORD"),
+            ("gcp-us-west", "PDX"),
+            ("gcp-eu-west", "LHR"),
+            ("gcp-eu-central", "FRA"),
+            ("gcp-asia-se", "SIN"),
+            ("gcp-asia-ne", "NRT"),
+            ("gcp-sa-east", "GRU"),
+        ),
+        superblock="google",
+    ),
+    "ibm": CloudSpec(
+        name="ibm",
+        primary_asn=IBM_ASN,
+        region_metros=(
+            ("ibm-us-east", "IAD"),
+            ("ibm-us-south", "DFW"),
+            ("ibm-eu-gb", "LHR"),
+            ("ibm-eu-de", "FRA"),
+        ),
+        superblock="ibm",
+    ),
+    "oracle": CloudSpec(
+        name="oracle",
+        primary_asn=ORACLE_ASN,
+        region_metros=(
+            ("oci-us-ashburn", "IAD"),
+            ("oci-us-phoenix", "PHX"),
+            ("oci-eu-frankfurt", "FRA"),
+            ("oci-uk-london", "LHR"),
+        ),
+        superblock="oracle",
+    ),
+}
+
+OTHER_CLOUDS: Tuple[str, ...] = ("microsoft", "google", "ibm", "oracle")
+
+#: Metros where Amazon extends its fabric via Direct Connect locations
+#: beyond the 15 region metros (§2: 74 served metros in the paper's data).
+AMAZON_DX_METROS: Tuple[str, ...] = (
+    "LAX", "SEA", "ORD", "DFW", "ATL", "MIA", "JFK", "BOS", "DEN", "PHX",
+    "SLC", "MSP", "IAH", "LAS", "YYZ", "YVR", "AMS", "MAD", "MXP", "ZRH",
+    "VIE", "ARN", "CPH", "WAW", "PRG", "MRS", "HKG", "TPE", "KUL", "BKK",
+    "KIX", "MEL", "PER", "AKL", "MAA", "DEL", "DXB", "TLV", "MEX", "SCL",
+    "EZE", "BOG", "GIG", "JNB",
+)

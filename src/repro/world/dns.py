@@ -1,0 +1,141 @@
+"""Reverse-DNS name synthesis for client border interfaces.
+
+Operators embed location hints (IATA codes, city names) and interconnect
+vocabulary (``vlan``, ``dxvif``, ``dxcon``, ``awsdx``) in router interface
+names.  The pinning pipeline (§6.1) parses these with DRoP-style rules, and
+§7.3 uses the dx/vlan keywords as evidence that Pr-nB interconnections are
+actually VPIs.  This module writes the names; :mod:`repro.core.dnsgeo`
+reads them back -- the two share no code, so parser bugs stay observable.
+
+Per the paper, *none* of Amazon's ABIs carry reverse DNS (§6.1 footnote);
+only client interfaces get names here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.geo import Metro
+from repro.net.ip import IPv4, format_ip
+
+#: Probability that a given kind of client interface has a reverse DNS name.
+DNS_COVERAGE = {
+    "tier1": 0.9,
+    "tier2": 0.65,
+    "access": 0.5,
+    "content": 0.4,
+    "enterprise": 0.25,
+}
+
+#: Of the named interfaces, how many embed a parseable location hint.
+GEO_HINT_RATE = {
+    "tier1": 0.85,
+    "tier2": 0.7,
+    "access": 0.55,
+    "content": 0.4,
+    "enterprise": 0.3,
+}
+
+_VPI_KEYWORDS = ("dxvif", "dxcon", "awsdx", "aws-dx")
+
+
+def _slug(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())[:12] or "net"
+
+
+def _city_token(metro: Metro, rng: random.Random) -> str:
+    """A location token: IATA code or squashed city name, operator-style."""
+    if rng.random() < 0.7:
+        token = metro.code.lower()
+        # Many operators append a state/country hint: atlnga, lhruk, ...
+        if rng.random() < 0.5:
+            token += metro.country.lower()[:2]
+        return token + f"{rng.randrange(1, 20):02d}"
+    return metro.city.lower().replace(" ", "") + str(rng.randrange(1, 9))
+
+
+def transit_interface_name(
+    as_name: str, metro: Metro, rng: random.Random, peer_hint: str = "amazon"
+) -> str:
+    """Backbone-style name: ``ae-4.amazon.atlnga05.us.bb.gin.ntt.net``."""
+    slot = rng.randrange(0, 30)
+    dom = _slug(as_name)
+    return (
+        f"ae-{slot}.{peer_hint}.{_city_token(metro, rng)}."
+        f"{metro.country.lower()}.bb.{dom}.net"
+    )
+
+
+def enterprise_interface_name(as_name: str, rng: random.Random) -> str:
+    """Flat corporate name with no location hint."""
+    dom = _slug(as_name)
+    host = rng.choice(("edge", "gw", "border", "rtr", "core"))
+    return f"{host}{rng.randrange(1, 9)}.{dom}.com"
+
+
+def vpi_interface_name(
+    as_name: str, rng: random.Random, metro: Optional[Metro] = None
+) -> str:
+    """Name carrying VPI vocabulary: vlan tags and dx keywords (§7.3)."""
+    dom = _slug(as_name)
+    parts = []
+    if rng.random() < 0.75:
+        parts.append(f"vlan{rng.randrange(100, 4000)}")
+    if rng.random() < 0.7:
+        kw = rng.choice(_VPI_KEYWORDS)
+        parts.append(f"{kw}-{rng.randrange(0x1000, 0xFFFF):x}")
+    if not parts:
+        parts.append(f"vif{rng.randrange(10, 500)}")
+    if metro is not None and rng.random() < 0.3:
+        parts.append(metro.code.lower())
+    return ".".join(parts) + f".{dom}.net"
+
+
+def generic_interface_name(as_name: str, ip: IPv4, rng: random.Random) -> str:
+    """Address-literal style name (no usable hints)."""
+    dom = _slug(as_name)
+    quad = format_ip(ip).replace(".", "-")
+    return f"ip-{quad}.{dom}.net"
+
+
+def synthesize_cbi_name(
+    kind: str,
+    as_name: str,
+    metro: Metro,
+    ip: IPv4,
+    rng: random.Random,
+    is_vpi: bool,
+    vpi_keyword_rate: float = 0.035,
+    false_hint_rate: float = 0.02,
+    catalog=None,
+) -> Optional[str]:
+    """Produce a reverse-DNS name for a CBI, or ``None`` (no PTR record).
+
+    ``false_hint_rate`` injects names whose location token disagrees with
+    the true metro -- the artifact the paper's RTT-constraint check (§6.1)
+    exists to catch (it excluded 0.87k CBIs).  ``vpi_keyword_rate`` keeps
+    dx/vlan vocabulary rare (the paper found it on 170 of 4.85k Pr-nB
+    names) but *only* on true VPIs plus physically-provisioned DX ports.
+    """
+    if rng.random() >= DNS_COVERAGE.get(kind, 0.3):
+        return None
+    if is_vpi and rng.random() < vpi_keyword_rate * 20:
+        # VPI ports advertise their virtual nature far more often than the
+        # base rate, but still on a small minority of interfaces.
+        return vpi_interface_name(as_name, rng, metro)
+    name_metro = metro
+    if catalog is not None and rng.random() < false_hint_rate:
+        codes = catalog.codes()
+        other = catalog.get(codes[rng.randrange(len(codes))])
+        if other.code != metro.code:
+            name_metro = other
+    if rng.random() < GEO_HINT_RATE.get(kind, 0.3):
+        if kind in ("tier1", "tier2", "access"):
+            return transit_interface_name(as_name, name_metro, rng)
+        # Content/enterprise networks occasionally embed a city too.
+        if rng.random() < 0.5:
+            return transit_interface_name(as_name, name_metro, rng, peer_hint="aws")
+    if kind == "enterprise":
+        return enterprise_interface_name(as_name, rng)
+    return generic_interface_name(as_name, ip, rng)

@@ -1,0 +1,198 @@
+"""Ground-truth entities of the synthetic Internet.
+
+The world is the *hidden* state that the paper's authors could not observe
+directly: which router owns which interface, where every router physically
+sits, which interconnections are virtual, and which peerings are announced
+in BGP.  Inference code never imports this module's internals; it only sees
+what the measurement plane (:mod:`repro.measure`) and the public datasets
+(:mod:`repro.datasets`) expose.  Ground truth is consulted again only for
+*evaluation* (e.g. pinning precision/recall against true metros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4, InterconnectSubnet, Prefix
+
+
+class RouterRole:
+    """What part of the fabric a router belongs to (string enum)."""
+
+    CLOUD_INTERNAL = "cloud_internal"    # inside a cloud's backbone/region
+    CLOUD_BORDER = "cloud_border"        # cloud-owned border router
+    CLIENT_BORDER = "client_border"      # client-side border router
+    CLIENT_INTERNAL = "client_internal"  # inside a client network
+    TRANSIT = "transit"                  # transit hop outside both networks
+
+
+class PeeringType:
+    """The three interconnection flavours of Fig. 1 (string enum)."""
+
+    PUBLIC_IXP = "public_ixp"            # over an IXP switching fabric
+    PRIVATE_PHYSICAL = "private_physical"  # cross-connect in a colo
+    PRIVATE_VIRTUAL = "private_virtual"    # VPI over a cloud exchange
+
+
+@dataclass
+class Interface:
+    """One router interface with its ground-truth attributes.
+
+    ``addr_owner_asn`` is who the *address block* belongs to, which is what
+    BGP/WHOIS-based annotation can see; ``router_id`` links to the router
+    that physically hosts the interface, whose owner may differ (the
+    address-sharing ambiguity of Fig. 2).
+    """
+
+    ip: IPv4
+    router_id: int
+    addr_owner_asn: ASN
+    dns_name: Optional[str] = None
+    responsive: bool = True
+    #: True when this interface answers probes arriving over any VLAN of a
+    #: shared cloud-exchange port (the behaviour VPI detection relies on).
+    shared_port_response: bool = False
+
+
+@dataclass
+class Router:
+    """A ground-truth router: owner, physical location, interfaces."""
+
+    router_id: int
+    owner_asn: ASN
+    role: str
+    metro_code: Optional[str] = None      # physical metro; None = unknown/virtual
+    facility_id: Optional[int] = None     # colo facility housing it, if any
+    interface_ips: List[IPv4] = field(default_factory=list)
+    #: Probability that the router answers a TTL-expired probe at all.
+    responsiveness: float = 1.0
+
+    def add_interface_ip(self, ip: IPv4) -> None:
+        self.interface_ips.append(ip)
+
+
+@dataclass
+class ColoFacility:
+    """A colocation facility: tenants, cloud-native presence, exchanges."""
+
+    facility_id: int
+    name: str
+    metro_code: str
+    native_clouds: Set[str] = field(default_factory=set)
+    tenant_asns: Set[ASN] = field(default_factory=set)
+    has_cloud_exchange: bool = False
+    ixp_ids: Set[int] = field(default_factory=set)
+    #: Facilities housing an "AWS Direct Connect Partner" (layer-2 reach).
+    partner_reach: bool = False
+
+
+@dataclass
+class IXP:
+    """An Internet exchange point with its peering-LAN prefix."""
+
+    ixp_id: int
+    name: str
+    prefix: Prefix
+    metro_codes: Tuple[str, ...]          # >1 marks a multi-metro IXP (§6.1)
+    member_ips: Dict[ASN, List[IPv4]] = field(default_factory=dict)
+
+    @property
+    def multi_metro(self) -> bool:
+        return len(self.metro_codes) > 1
+
+
+@dataclass
+class CloudExchange:
+    """A cloud-exchange switching fabric inside one facility."""
+
+    exchange_id: int
+    facility_id: int
+    metro_code: str
+    #: Client ports: ASN -> port interface IPs on the fabric.
+    ports: Dict[ASN, List[IPv4]] = field(default_factory=dict)
+
+
+@dataclass
+class Interconnection:
+    """One ground-truth interconnection (a single ABI--CBI adjacency).
+
+    A *peering* between Amazon and an AS is the set of its interconnections;
+    each interconnection is the unit the traceroute campaign can reveal.
+    """
+
+    icx_id: int
+    cloud: str                       # which cloud provider ("amazon", ...)
+    peer_asn: ASN
+    ptype: str                       # PeeringType value
+    bgp_visible: bool                # does the AS link show up in BGP feeds
+    abi_router_id: int               # cloud border router
+    abi_ip: IPv4                     # interface the cloud router answers with
+    cbi_router_id: int               # client border router
+    cbi_ip: IPv4                     # interface the client router answers with
+    metro_code: str                  # metro of the cloud-side port
+    client_metro_code: str           # true metro of the client router
+    subnet: Optional[InterconnectSubnet] = None  # None for IXP peerings
+    ixp_id: Optional[int] = None
+    exchange_id: Optional[int] = None
+    #: Clouds sharing the same client port (multi-cloud VPIs).  Contains at
+    #: least ``cloud`` itself for VPIs.
+    vpi_clouds: FrozenSet[str] = frozenset()
+    uses_private_addresses: bool = False
+    #: True when the client reaches the fabric through a layer-2 partner
+    #: from another metro (remote peering, AS5 in Fig. 1).
+    remote: bool = False
+    #: parallel (ECMP) cloud-side interfaces; probes to different
+    #: destinations cross different members, so one CBI is observed behind
+    #: several ABIs (the Fig. 7b degree tail).  Includes ``abi_ip``.
+    abi_ecmp: Tuple[IPv4, ...] = ()
+    #: optional aggregation hop: another border interface traversed just
+    #: before the ABI (two-tier metro edge).  Interfaces that aggregate
+    #: for some interconnections while terminating others are the hybrid
+    #: ABIs of Fig. 3.
+    agg_abi_ip: Optional[IPv4] = None
+    #: metro of the Amazon-side interface when the DX location is layer-2
+    #: backhauled to a parent region's routers (None -> ``metro_code``).
+    abi_metro_code: Optional[str] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.ptype == PeeringType.PRIVATE_VIRTUAL
+
+    @property
+    def is_public(self) -> bool:
+        return self.ptype == PeeringType.PUBLIC_IXP
+
+
+@dataclass
+class ClientAS:
+    """Ground truth for one peer AS of the clouds."""
+
+    asn: ASN
+    profile: FrozenSet[str]          # set of paper peering-group labels
+    home_metro: str
+    footprint_metros: Tuple[str, ...]
+    cone_slash24: int                # BGP customer-cone size in /24s (metadata)
+    announced_prefixes: List[Prefix] = field(default_factory=list)
+    #: /24s actually routed (instantiated) for probing, a sample of the cone.
+    routed_slash24s: List[Prefix] = field(default_factory=list)
+    #: Prefixes announced only in the round-2 BGP snapshot (late announcements).
+    late_announced: List[Prefix] = field(default_factory=list)
+    border_router_ids: List[int] = field(default_factory=list)
+    internal_router_ids: List[int] = field(default_factory=list)
+    icx_ids: List[int] = field(default_factory=list)
+    multi_cloud: FrozenSet[str] = frozenset()  # other clouds this AS also uses
+
+
+@dataclass
+class RegionTruth:
+    """One cloud region: its VM vantage point and internal path."""
+
+    cloud: str
+    name: str                        # e.g. "us-east-1"
+    metro_code: str
+    vm_ip: IPv4
+    #: (router_id, responding interface ip) pairs, VM-side first.
+    internal_path: List[Tuple[int, IPv4]] = field(default_factory=list)
+    border_router_ids: List[int] = field(default_factory=list)

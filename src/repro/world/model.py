@@ -1,0 +1,515 @@
+"""The assembled synthetic Internet and its forwarding behaviour.
+
+:class:`World` is the single source of ground truth.  It exposes exactly
+two kinds of behaviour to the measurement plane:
+
+* :meth:`World.resolve_path` -- the forwarding decision for a probe from a
+  cloud VM to a destination address, as a sequence of :class:`PlanHop`
+  (which router answers, with which interface, from which metro);
+* per-interface reachability/latency attributes consumed by the ping and
+  reachability probers.
+
+Inference code must never touch ground-truth fields (router ownership,
+true metros, peering types); those are reserved for the evaluation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.asn import ASN, ASRegistry
+from repro.net.geo import MetroCatalog
+from repro.net.ip import IPv4, Prefix, is_private, is_shared
+from repro.world.addressing import AddressPlan
+from repro.world.entities import (
+    ClientAS,
+    CloudExchange,
+    ColoFacility,
+    Interconnection,
+    Interface,
+    IXP,
+    RegionTruth,
+    Router,
+)
+
+
+def _stable_response(dst: IPv4, p: float) -> bool:
+    """Deterministic per-destination response draw (Knuth-hash based).
+
+    A destination either answers probes or does not -- consistently across
+    regions and rounds -- so the draw must not consume campaign RNG state.
+    """
+    if p <= 0.0:
+        return False
+    return ((dst * 2654435761) & 0xFFFF) / 65536.0 < p
+
+
+@dataclass(frozen=True)
+class PlanHop:
+    """One forwarding hop as the traceroute engine sees it."""
+
+    router_id: int
+    ip: IPv4
+    metro_code: str
+    responsiveness: float = 1.0
+
+
+@dataclass
+class PathPlan:
+    """Resolved forwarding path for (cloud, region, destination).
+
+    ``icx_id`` records which interconnection (if any) the path crosses --
+    ground truth used only by evaluation, never by inference.
+    """
+
+    hops: List[PlanHop]
+    dest_ip: IPv4
+    dest_responds: bool
+    exits_cloud: bool
+    icx_id: Optional[int] = None
+
+
+@dataclass
+class Slash24Route:
+    """Routing state for one instantiated /24."""
+
+    prefix: Prefix
+    owner_asn: ASN
+    #: interconnections able to serve this /24 (their ids).
+    serving_icx_ids: Tuple[int, ...]
+    #: region name -> chosen egress icx id (hot-potato, precomputed).
+    egress_by_region: Dict[str, int]
+    #: router ids of the client-side chain between CBI router and the
+    #: destination (internal routers; may include downstream-AS routers).
+    chain_router_ids: Tuple[int, ...]
+    #: probability that the destination host itself answers.
+    dest_response_p: float = 0.08
+    #: announced in the round-1 BGP snapshot?
+    announced_r1: bool = True
+    #: peer AS that carries this /24 (== owner for the AS's own space,
+    #: the transit parent for downstream-stub space).
+    carrier_asn: ASN = 0
+
+
+class World:
+    """Registries plus the forwarding function over them."""
+
+    def __init__(
+        self,
+        config,
+        catalog: MetroCatalog,
+        as_registry: ASRegistry,
+        plan: AddressPlan,
+    ) -> None:
+        self.config = config
+        self.catalog = catalog
+        self.as_registry = as_registry
+        self.plan = plan
+
+        self.routers: Dict[int, Router] = {}
+        self.interfaces: Dict[IPv4, Interface] = {}
+        self.facilities: Dict[int, ColoFacility] = {}
+        self.ixps: Dict[int, IXP] = {}
+        self.exchanges: Dict[int, CloudExchange] = {}
+        self.interconnections: Dict[int, Interconnection] = {}
+        self.client_ases: Dict[ASN, ClientAS] = {}
+        #: cloud name -> region name -> RegionTruth
+        self.regions: Dict[str, Dict[str, RegionTruth]] = {}
+        #: ordered probing targets, /24 -> route
+        self.routes: Dict[int, Slash24Route] = {}
+        #: (cloud, /24 network) -> [(subnet prefix, icx_id)] interconnect space
+        self.infra_subnets: Dict[Tuple[str, int], List[Tuple[Prefix, int]]] = {}
+        #: cloud name -> per-icx access-path tails keyed by (region, icx)
+        self._tail_cache: Dict[Tuple[str, str, int], Tuple[List[PlanHop], IPv4]] = {}
+        #: backbone hop per (cloud, from_region, to_metro)
+        self.backbone_hops: Dict[Tuple[str, str], PlanHop] = {}
+        #: interfaces answering pings from the public Internet
+        self.publicly_reachable: Set[IPv4] = set()
+        #: interface ip -> path metros (after the VM metro) for RTT legs
+        self.via_metros: Dict[IPv4, Tuple[str, ...]] = {}
+        #: interface ip -> restrict ping visibility to these region names
+        self.ping_region_limit: Dict[IPv4, Set[str]] = {}
+        #: every /24 worth sweeping in round 1 (campaign target universe)
+        self.sweep_slash24s: List[Prefix] = []
+        #: interconnections of other clouds (for VPI probing), by cloud
+        self.other_cloud_icx: Dict[str, Dict[int, Interconnection]] = {}
+        #: (cloud, carrier asn) -> that cloud's mirror interconnections
+        self.client_other_egress: Dict[Tuple[str, ASN], List[int]] = {}
+        #: (cloud, amazon icx id) -> that cloud's mirror of the same port
+        self.mirror_of: Dict[Tuple[str, int], int] = {}
+        #: BGP-announced blocks per cloud (infra blocks stay WHOIS-only)
+        self.cloud_announced_blocks: Dict[str, List[Prefix]] = {}
+        self.cloud_infra_blocks: Dict[str, List[Prefix]] = {}
+        #: (cloud, region) -> transit hop used when no direct peering exists
+        self.transit_hops: Dict[Tuple[str, str], PlanHop] = {}
+        #: client asn -> transit-facing interface of its primary border router
+        self.client_transit_iface: Dict[ASN, Tuple[int, IPv4]] = {}
+        #: (cloud, region) -> the cloud's own border hop toward the Internet
+        self.cloud_border_hops: Dict[Tuple[str, str], PlanHop] = {}
+        #: (carrier asn, region) -> default egress icx for announced space
+        #: that has no instantiated /24 route
+        self.client_default_egress: Dict[Tuple[ASN, str], int] = {}
+        #: owning asn -> peer AS carrying its space (stubs map to parent)
+        self.asn_carrier: Dict[ASN, ASN] = {}
+        #: border router -> its backbone-facing interface: the incoming
+        #: interface it answers with when probe traffic arrives over the
+        #: cloud backbone instead of from the local region (§7.4: this
+        #: sharing is what fuses the ICG into one giant component)
+        self.router_backbone_iface: Dict[int, IPv4] = {}
+
+    # ------------------------------------------------------------------
+    # registry helpers (used by the builder)
+    # ------------------------------------------------------------------
+
+    def add_router(self, router: Router) -> Router:
+        if router.router_id in self.routers:
+            raise ValueError(f"duplicate router id {router.router_id}")
+        self.routers[router.router_id] = router
+        return router
+
+    def add_interface(self, iface: Interface) -> Interface:
+        if iface.ip in self.interfaces:
+            raise ValueError(f"duplicate interface ip {iface.ip}")
+        self.interfaces[iface.ip] = iface
+        self.routers[iface.router_id].add_interface_ip(iface.ip)
+        return iface
+
+    def metro_of_router(self, router_id: int) -> str:
+        metro = self.routers[router_id].metro_code
+        if metro is None:
+            raise ValueError(f"router {router_id} has no metro")
+        return metro
+
+    def interface_router(self, ip: IPv4) -> Optional[Router]:
+        iface = self.interfaces.get(ip)
+        return self.routers[iface.router_id] if iface else None
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+
+    def region(self, cloud: str, name: str) -> RegionTruth:
+        return self.regions[cloud][name]
+
+    def region_names(self, cloud: str) -> List[str]:
+        return sorted(self.regions.get(cloud, {}))
+
+    def _icx_store(self, cloud: str) -> Dict[int, Interconnection]:
+        if cloud == "amazon":
+            return self.interconnections
+        return self.other_cloud_icx.get(cloud, {})
+
+    def _tail_for(
+        self, cloud: str, region_name: str, icx_id: int, dst: IPv4
+    ) -> List[PlanHop]:
+        """Hops from the region edge to (and including) the ABI.
+
+        The pre-ABI hops are cached per (cloud, region, icx); the ABI hop
+        itself depends on the destination because of ECMP: probes hashed
+        onto different parallel links cross different border interfaces.
+        """
+        key = (cloud, region_name, icx_id)
+        cached = self._tail_cache.get(key)
+        icx = self._icx_store(cloud)[icx_id]
+        if cached is None:
+            region = self.regions[cloud][region_name]
+            pre: List[PlanHop] = []
+            options: Tuple[IPv4, ...] = icx.abi_ecmp or (icx.abi_ip,)
+            if icx.metro_code != region.metro_code:
+                bb = self.backbone_hops.get((cloud, region_name))
+                if bb is not None:
+                    pre.append(bb)
+                # Traffic arriving over the backbone may hit the border
+                # router on its backbone-facing link interface instead of
+                # one of the fabric-facing ones -- that shared interface is
+                # what fuses the ICG across peerings (§7.4).
+                backbone_iface = self.router_backbone_iface.get(icx.abi_router_id)
+                if backbone_iface is not None:
+                    options = options + (backbone_iface,)
+            if icx.agg_abi_ip is not None:
+                agg_iface = self.interfaces.get(icx.agg_abi_ip)
+                if agg_iface is not None:
+                    agg_router = self.routers[agg_iface.router_id]
+                    pre.append(
+                        PlanHop(
+                            router_id=agg_iface.router_id,
+                            ip=icx.agg_abi_ip,
+                            metro_code=icx.metro_code,
+                            responsiveness=agg_router.responsiveness,
+                        )
+                    )
+            cached = (pre, options)
+            self._tail_cache[key] = cached
+        pre, options = cached
+        if len(options) > 1:
+            abi_ip = options[((dst * 2654435761) >> 7) % len(options)]
+        else:
+            abi_ip = options[0]
+        iface = self.interfaces.get(abi_ip)
+        router_id = iface.router_id if iface is not None else icx.abi_router_id
+        abi_router = self.routers[router_id]
+        return list(pre) + [
+            PlanHop(
+                router_id=router_id,
+                ip=abi_ip,
+                metro_code=icx.abi_metro_code or icx.metro_code,
+                responsiveness=abi_router.responsiveness,
+            )
+        ]
+
+    def _cbi_hop(self, icx: Interconnection) -> PlanHop:
+        router = self.routers[icx.cbi_router_id]
+        return PlanHop(
+            router_id=icx.cbi_router_id,
+            ip=icx.cbi_ip,
+            metro_code=icx.client_metro_code,
+            responsiveness=router.responsiveness,
+        )
+
+    def _chain_hops(self, chain_router_ids: Sequence[int]) -> List[PlanHop]:
+        hops: List[PlanHop] = []
+        for rid in chain_router_ids:
+            router = self.routers[rid]
+            if not router.interface_ips:
+                continue
+            hops.append(
+                PlanHop(
+                    router_id=rid,
+                    ip=router.interface_ips[0],
+                    metro_code=router.metro_code or "???",
+                    responsiveness=router.responsiveness,
+                )
+            )
+        return hops
+
+    def _lookup_icx_for_infra(self, cloud: str, dst: IPv4) -> Optional[int]:
+        """Connected-route lookup: is dst inside an interconnect /24?"""
+        entries = self.infra_subnets.get((cloud, dst & 0xFFFFFF00))
+        if not entries:
+            return None
+        for subnet, icx_id in entries:
+            if dst in subnet:
+                return icx_id
+        return None
+
+    def _transit_path(
+        self,
+        cloud: str,
+        region_name: str,
+        base: List[PlanHop],
+        route: Slash24Route,
+        dst: IPv4,
+    ) -> PathPlan:
+        """Path through a transit provider (no direct cloud<->client peering).
+
+        Used by the other clouds when probing the VPI target pool: the
+        client's border router answers with its transit-facing interface,
+        which never collides with an Amazon CBI (§7.1's soundness case).
+        """
+        hops = list(base)
+        border = self.cloud_border_hops.get((cloud, region_name))
+        if border is not None:
+            hops.append(border)
+        transit = self.transit_hops.get((cloud, region_name))
+        if transit is not None:
+            hops.append(transit)
+        entry = self.client_transit_iface.get(route.carrier_asn)
+        if entry is not None:
+            rid, ip = entry
+            router = self.routers[rid]
+            hops.append(
+                PlanHop(
+                    router_id=rid,
+                    ip=ip,
+                    metro_code=router.metro_code or "IAD",
+                    responsiveness=router.responsiveness,
+                )
+            )
+        hops.extend(self._chain_hops(route.chain_router_ids))
+        return PathPlan(
+            hops=hops,
+            dest_ip=dst,
+            dest_responds=route.dest_response_p > 0.0,
+            exits_cloud=True,
+            icx_id=None,
+        )
+
+    def resolve_path(
+        self, cloud: str, region_name: str, dst: IPv4, snapshot: str = "r1"
+    ) -> PathPlan:
+        """Forwarding decision for a probe from ``region_name`` to ``dst``.
+
+        ``snapshot`` is accepted for symmetry with annotation but routing
+        does not depend on it: Amazon routes to connected interconnect
+        subnets whether or not they are publicly announced.
+        """
+        region = self.regions[cloud][region_name]
+        base: List[PlanHop] = [
+            PlanHop(router_id=rid, ip=ip, metro_code=region.metro_code)
+            for rid, ip in region.internal_path
+        ]
+
+        if is_private(dst) or is_shared(dst):
+            return PathPlan(hops=base[:1], dest_ip=dst, dest_responds=False, exits_cloud=False)
+
+        # 1. connected interconnect subnets (most specific; routed even
+        #    when the covering block is absent from BGP).
+        icx_id = self._lookup_icx_for_infra(cloud, dst)
+        chain: Tuple[int, ...] = ()
+        dest_p = 0.0
+        if icx_id is None and cloud != "amazon":
+            # A probe from another cloud toward an Amazon-facing port
+            # subnet reaches that specific port's router, which answers
+            # over its VLAN to the probing cloud (the §7.1 overlap).
+            amazon_icx = self._lookup_icx_for_infra("amazon", dst)
+            if amazon_icx is not None:
+                icx_id = self.mirror_of.get((cloud, amazon_icx))
+        if icx_id is None:
+            # 2. instantiated /24 routes (the hot path).
+            route = self.routes.get(dst & 0xFFFFFF00)
+            if route is None:
+                # 3. fall back to the allocation registry.
+                return self._registry_path(cloud, region_name, dst, base)
+            if cloud == "amazon":
+                icx_id = route.egress_by_region.get(region_name)
+            else:
+                mirrors = self.client_other_egress.get((cloud, route.carrier_asn))
+                if not mirrors:
+                    return self._transit_path(cloud, region_name, base, route, dst)
+                store = self._icx_store(cloud)
+                region_metro = self.regions[cloud][region_name].metro_code
+                icx_id = min(
+                    mirrors,
+                    key=lambda i: self.catalog.distance_km(
+                        region_metro, store[i].metro_code
+                    ),
+                )
+            chain = route.chain_router_ids
+            dest_p = route.dest_response_p
+
+        if icx_id is None:
+            # No route: the probe dies inside the cloud backbone.
+            return PathPlan(hops=base, dest_ip=dst, dest_responds=False, exits_cloud=False)
+
+        store = self._icx_store(cloud)
+        icx = store.get(icx_id)
+        if icx is None or icx.uses_private_addresses:
+            # Private-address VPIs are isolated in the customer's VPC and
+            # invisible to probes from any other customer's VM (§2, §9).
+            return PathPlan(hops=base, dest_ip=dst, dest_responds=False, exits_cloud=False)
+
+        hops = list(base)
+        hops.extend(self._tail_for(cloud, region_name, icx_id, dst))
+        hops.append(self._cbi_hop(icx))
+        hops.extend(self._chain_hops(chain))
+        return PathPlan(
+            hops=hops,
+            dest_ip=dst,
+            dest_responds=_stable_response(dst, dest_p),
+            exits_cloud=True,
+            icx_id=icx_id,
+        )
+
+    def _registry_path(
+        self, cloud: str, region_name: str, dst: IPv4, base: List[PlanHop]
+    ) -> PathPlan:
+        """Path for destinations with no /24 route: cloud space, announced
+        client space without instantiated /24s, or dead space."""
+        alloc = self.plan.owner_of(dst)
+        if alloc is None:
+            return PathPlan(hops=base, dest_ip=dst, dest_responds=False, exits_cloud=False)
+        if alloc.category == "cloud":
+            if alloc.holder_name == cloud:
+                return PathPlan(hops=base, dest_ip=dst, dest_responds=False, exits_cloud=False)
+            # Another cloud's space: one hop into that cloud, then opaque.
+            hops = list(base)
+            border = self.cloud_border_hops.get((cloud, region_name))
+            if border is not None:
+                hops.append(border)
+            return PathPlan(hops=hops, dest_ip=dst, dest_responds=False, exits_cloud=True)
+        if alloc.category in ("client", "infra"):
+            carrier = self.asn_carrier.get(alloc.owner_asn)
+            if carrier is None:
+                return PathPlan(
+                    hops=base, dest_ip=dst, dest_responds=False, exits_cloud=False
+                )
+            if cloud != "amazon":
+                pseudo = Slash24Route(
+                    prefix=Prefix.of(dst, 24),
+                    owner_asn=alloc.owner_asn,
+                    serving_icx_ids=(),
+                    egress_by_region={},
+                    chain_router_ids=(),
+                    dest_response_p=0.0,
+                    carrier_asn=carrier,
+                )
+                return self._transit_path(cloud, region_name, base, pseudo, dst)
+            icx_id = self.client_default_egress.get((carrier, region_name))
+            if icx_id is not None:
+                icx = self.interconnections.get(icx_id)
+                if icx is not None and not icx.uses_private_addresses:
+                    hops = list(base)
+                    hops.extend(self._tail_for(cloud, region_name, icx_id, dst))
+                    hops.append(self._cbi_hop(icx))
+                    return PathPlan(
+                        hops=hops,
+                        dest_ip=dst,
+                        dest_responds=False,
+                        exits_cloud=True,
+                        icx_id=icx_id,
+                    )
+        return PathPlan(hops=base, dest_ip=dst, dest_responds=False, exits_cloud=False)
+
+    # ------------------------------------------------------------------
+    # latency ground truth (consumed by the ping prober)
+    # ------------------------------------------------------------------
+
+    def rtt_legs_ms(self, cloud: str, region_name: str, ip: IPv4) -> Optional[float]:
+        """Base (propagation-only) RTT from a region's VM to an interface.
+
+        Returns ``None`` when the interface is not reachable from that
+        region (never routed there, or ping-restricted).
+        """
+        iface = self.interfaces.get(ip)
+        if iface is None:
+            return None
+        limit = self.ping_region_limit.get(ip)
+        if limit is not None and region_name not in limit:
+            return None
+        region = self.regions[cloud][region_name]
+        legs = self.via_metros.get(ip)
+        if legs is None:
+            router = self.routers[iface.router_id]
+            legs = (router.metro_code or region.metro_code,)
+        total = 0.0
+        cur = region.metro_code
+        for code in legs:
+            total += self.catalog.rtt_ms(cur, code)
+            cur = code
+        return total
+
+    # ------------------------------------------------------------------
+    # evaluation-only ground truth accessors
+    # ------------------------------------------------------------------
+
+    def true_metro_of_interface(self, ip: IPv4) -> Optional[str]:
+        router = self.interface_router(ip)
+        return router.metro_code if router else None
+
+    def true_owner_of_interface(self, ip: IPv4) -> Optional[ASN]:
+        router = self.interface_router(ip)
+        return router.owner_asn if router else None
+
+    def true_abis(self) -> Set[IPv4]:
+        return {icx.abi_ip for icx in self.interconnections.values()}
+
+    def true_cbis(self) -> Set[IPv4]:
+        return {icx.cbi_ip for icx in self.interconnections.values()}
+
+    def true_vpi_cbis(self) -> Set[IPv4]:
+        return {
+            icx.cbi_ip
+            for icx in self.interconnections.values()
+            if icx.is_virtual
+        }

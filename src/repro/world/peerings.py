@@ -1,0 +1,213 @@
+"""Construction of border routers, ports, and interconnections.
+
+This module owns the two interface pools whose sharing patterns drive the
+paper's population shapes:
+
+* :class:`AmazonBorderPool` -- Amazon-side border routers and their ABI
+  interfaces.  ABIs are far fewer than CBIs (3.77k vs 24.75k in the paper)
+  because many client interconnections land on the same Amazon interface;
+  the pool reuses existing interfaces with high probability, which yields
+  the skewed ABI degree distribution of Fig. 7a.
+* :class:`ClientFabric` -- client border routers, one per (AS, metro),
+  whose accumulated interfaces become the alias sets of §5.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.asn import ASN
+from repro.net.ip import AddressPool, IPv4, InterconnectSubnet
+from repro.world.entities import Interface, Router, RouterRole
+from repro.world.model import World
+
+
+class IdSource:
+    """Monotonic integer id allocator shared by the builder."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def take(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+class AmazonBorderPool:
+    """Amazon border routers per metro, with reuse-biased ABI allocation."""
+
+    def __init__(
+        self,
+        world: World,
+        ids: IdSource,
+        rng: random.Random,
+        announced_pool: AddressPool,
+        infra_pool: AddressPool,
+        abi_whois_rate: float,
+        new_abi_rate: float,
+        owner_asn: ASN,
+        unresponsive_rate: float = 0.0,
+    ) -> None:
+        self.world = world
+        self.ids = ids
+        self.rng = rng
+        self.announced_pool = announced_pool
+        self.infra_pool = infra_pool
+        self.abi_whois_rate = abi_whois_rate
+        self.new_abi_rate = new_abi_rate
+        self.owner_asn = owner_asn
+        self.unresponsive_rate = unresponsive_rate
+        #: metro -> border routers there
+        self._routers_by_metro: Dict[str, List[int]] = {}
+        #: (metro, bucket) -> existing ABI ips available for reuse
+        self._abi_buckets: Dict[Tuple[str, str], List[IPv4]] = {}
+
+    def ensure_metro(self, metro_code: str, router_count: int, facility_id: Optional[int]) -> None:
+        """Create ``router_count`` border routers at a metro (idempotent)."""
+        existing = self._routers_by_metro.setdefault(metro_code, [])
+        while len(existing) < router_count:
+            router = Router(
+                router_id=self.ids.take(),
+                owner_asn=self.owner_asn,
+                role=RouterRole.CLOUD_BORDER,
+                metro_code=metro_code,
+                facility_id=facility_id,
+                responsiveness=1.0
+                if self.rng.random() >= self.unresponsive_rate
+                else 0.0,
+            )
+            self.world.add_router(router)
+            existing.append(router.router_id)
+            # Backbone-facing interface: what the router answers with when
+            # probes arrive over the cloud backbone (always cloud-owned
+            # infrastructure space).
+            bb_ip = self.infra_pool.allocate()
+            self.world.add_interface(
+                Interface(ip=bb_ip, router_id=router.router_id, addr_owner_asn=self.owner_asn)
+            )
+            self.world.via_metros[bb_ip] = (metro_code,)
+            self.world.router_backbone_iface[router.router_id] = bb_ip
+
+    def metros(self) -> List[str]:
+        return sorted(self._routers_by_metro)
+
+    def has_metro(self, metro_code: str) -> bool:
+        return bool(self._routers_by_metro.get(metro_code))
+
+    def router_at(self, metro_code: str) -> int:
+        routers = self._routers_by_metro.get(metro_code)
+        if not routers:
+            raise KeyError(f"Amazon has no border router at {metro_code}")
+        return self.rng.choice(routers)
+
+    def _new_abi_ip(self) -> IPv4:
+        pool = (
+            self.infra_pool
+            if self.rng.random() < self.abi_whois_rate
+            else self.announced_pool
+        )
+        return pool.allocate()
+
+    def acquire_abi(self, metro_code: str, bucket: str) -> Tuple[int, IPv4]:
+        """Return (router_id, abi_ip) at a metro, reusing interfaces.
+
+        ``bucket`` separates public-facing (per-IXP) interfaces from
+        private-fabric ones so IXP ABIs are only shared among IXP members.
+        """
+        key = (metro_code, bucket)
+        existing = self._abi_buckets.get(key)
+        if existing and self.rng.random() >= self.new_abi_rate:
+            ip = self.rng.choice(existing)
+            return self.world.interfaces[ip].router_id, ip
+        router_id = self.router_at(metro_code)
+        ip = self._new_abi_ip()
+        self.world.add_interface(
+            Interface(ip=ip, router_id=router_id, addr_owner_asn=self.owner_asn)
+        )
+        self.world.via_metros[ip] = (metro_code,)
+        self._abi_buckets.setdefault(key, []).append(ip)
+        return router_id, ip
+
+
+class ClientFabric:
+    """Client-side border routers and their response interfaces.
+
+    Routers are rotated once they accumulate ``max_ifaces_per_router``
+    interfaces, so large peers deploy several routers per metro -- which
+    keeps alias-set sizes in the skewed-but-small regime of §5.2 (the
+    paper saw 8.68k interfaces across 2.64k sets).
+    """
+
+    def __init__(
+        self,
+        world: World,
+        ids: IdSource,
+        rng: random.Random,
+        max_ifaces_per_router: int = 6,
+    ) -> None:
+        self.world = world
+        self.ids = ids
+        self.rng = rng
+        self.max_ifaces_per_router = max_ifaces_per_router
+        #: (asn, metro) -> router ids at that metro, newest last
+        self._border_routers: Dict[Tuple[ASN, str], List[int]] = {}
+
+    def border_router(self, asn: ASN, metro_code: str, unresponsive_rate: float) -> int:
+        """Get (or create) an AS border router at a metro with free slots."""
+        key = (asn, metro_code)
+        routers = self._border_routers.setdefault(key, [])
+        if routers:
+            current = routers[-1]
+            if len(self.world.routers[current].interface_ips) < self.max_ifaces_per_router:
+                return current
+        router = Router(
+            router_id=self.ids.take(),
+            owner_asn=asn,
+            role=RouterRole.CLIENT_BORDER,
+            metro_code=metro_code,
+            responsiveness=1.0 if self.rng.random() >= unresponsive_rate else 0.0,
+        )
+        self.world.add_router(router)
+        routers.append(router.router_id)
+        return router.router_id
+
+    def add_cbi_interface(
+        self,
+        router_id: int,
+        ip: IPv4,
+        addr_owner_asn: ASN,
+        via_metros: Tuple[str, ...],
+        shared_port_response: bool = False,
+        dns_name: Optional[str] = None,
+    ) -> Interface:
+        iface = Interface(
+            ip=ip,
+            router_id=router_id,
+            addr_owner_asn=addr_owner_asn,
+            shared_port_response=shared_port_response,
+            dns_name=dns_name,
+        )
+        self.world.add_interface(iface)
+        self.world.via_metros[ip] = via_metros
+        return iface
+
+    def routers_of(self, asn: ASN) -> List[int]:
+        out: List[int] = []
+        for (a, _m), rids in self._border_routers.items():
+            if a == asn:
+                out.extend(rids)
+        return out
+
+
+def register_interconnect_subnet(
+    world: World, subnet: InterconnectSubnet, icx_id: int, cloud: str = "amazon"
+) -> None:
+    """Index a subnet for connected-route lookups (expansion probing)."""
+    from repro.net.ip import Prefix
+
+    p24 = Prefix.of(subnet.prefix.network, 24)
+    world.infra_subnets.setdefault((cloud, p24.network), []).append(
+        (subnet.prefix, icx_id)
+    )

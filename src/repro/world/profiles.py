@@ -1,0 +1,162 @@
+"""Peering-profile mixture and per-group population statistics.
+
+The paper's Table 6 is a census of which *combinations* of peering types
+Amazon's 3.55k peer ASes maintain, and Table 5 / Fig. 6 report per-group
+population statistics (CBIs and ABIs per AS, customer-cone sizes, metro
+spread).  The world builder samples client-AS profiles from this census so
+that a synthetic world of any scale reproduces the published mixture --
+the inference pipeline then has to *rediscover* it from measurements.
+
+Group label notation follows the paper: ``Pb``/``Pr`` public/private,
+``B``/``nB`` visible/not visible in BGP, ``V``/``nV`` virtual/physical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+# The six peering groups of Table 5.
+PB_NB = "Pb-nB"
+PB_B = "Pb-B"
+PR_NB_V = "Pr-nB-V"
+PR_NB_NV = "Pr-nB-nV"
+PR_B_NV = "Pr-B-nV"
+PR_B_V = "Pr-B-V"
+
+ALL_GROUPS: Tuple[str, ...] = (PB_NB, PB_B, PR_NB_V, PR_NB_NV, PR_B_NV, PR_B_V)
+
+#: Table 6 verbatim: peering-type combination -> number of ASes.
+HYBRID_CENSUS: Dict[FrozenSet[str], int] = {
+    frozenset({PB_NB}): 2187,
+    frozenset({PR_NB_NV}): 686,
+    frozenset({PR_NB_NV, PB_NB}): 207,
+    frozenset({PB_B}): 117,
+    frozenset({PR_NB_NV, PR_NB_V}): 83,
+    frozenset({PR_NB_NV, PB_NB, PR_NB_V}): 60,
+    frozenset({PB_NB, PR_NB_V}): 41,
+    frozenset({PR_NB_V}): 38,
+    frozenset({PR_B_NV, PB_B}): 37,
+    frozenset({PR_B_V, PR_B_NV, PB_B}): 31,
+    frozenset({PR_B_NV}): 24,
+    frozenset({PR_B_V, PR_B_NV}): 16,
+    frozenset({PR_NB_NV, PR_B_NV, PR_B_V}): 5,
+    frozenset({PR_B_V, PB_B}): 4,
+    frozenset({PR_B_V}): 4,
+    frozenset({PB_NB, PB_B}): 2,
+    frozenset({PR_NB_NV, PR_B_NV, PR_B_V, PB_B}): 2,
+    frozenset({PR_NB_NV, PR_B_NV}): 1,
+    frozenset({PR_NB_NV, PR_B_NV, PB_B}): 1,
+    frozenset({PR_NB_NV, PR_NB_V, PR_B_NV}): 1,
+    frozenset({PR_NB_NV, PR_NB_V, PR_B_NV, PR_B_V, PB_B}): 1,
+}
+
+#: Total AS count implied by the census (~= the paper's 3.55k peers).
+CENSUS_TOTAL = sum(HYBRID_CENSUS.values())
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Per-group population statistics used to size a sampled AS.
+
+    ``cbis_per_as`` / ``abis_per_as`` are arithmetic means implied by
+    Table 5 (CBIs / ASes and ABIs / ASes per group); ``cone_median`` is the
+    order of magnitude of the BGP /24 customer cone from Fig. 6 (row 1);
+    ``metro_spread`` approximates Fig. 6 row 6.  ``sigma`` sets the skew of
+    the lognormal draws.
+    """
+
+    label: str
+    cbis_per_as: float
+    abis_per_as: float
+    cone_median: float
+    cone_sigma: float
+    metro_spread: float
+    kind_weights: Dict[str, float]   # ASKind -> sampling weight
+
+
+# Derived from Table 5 (counts per group / ASes per group) and Fig. 6.
+GROUP_STATS: Dict[str, GroupStats] = {
+    PB_NB: GroupStats(
+        label=PB_NB,
+        cbis_per_as=3.93e3 / 2.52e3,   # ~1.6
+        abis_per_as=0.4,
+        cone_median=4.0,
+        cone_sigma=1.6,
+        metro_spread=1.3,
+        kind_weights={"content": 0.25, "enterprise": 0.35, "access": 0.25, "tier2": 0.15},
+    ),
+    PB_B: GroupStats(
+        label=PB_B,
+        cbis_per_as=0.56e3 / 0.20e3,   # ~2.8
+        abis_per_as=2.8,
+        cone_median=200.0,
+        cone_sigma=1.5,
+        metro_spread=2.5,
+        kind_weights={"tier2": 0.8, "access": 0.2},
+    ),
+    PR_NB_V: GroupStats(
+        label=PR_NB_V,
+        cbis_per_as=2.99e3 / 0.24e3,   # ~12.5
+        abis_per_as=2.3,
+        cone_median=15.0,
+        cone_sigma=1.8,
+        metro_spread=2.0,
+        kind_weights={"enterprise": 0.45, "content": 0.2, "tier2": 0.25, "access": 0.1},
+    ),
+    PR_NB_NV: GroupStats(
+        label=PR_NB_NV,
+        cbis_per_as=10.24e3 / 1.1e3,   # ~9.3
+        abis_per_as=2.4,
+        cone_median=10.0,
+        cone_sigma=1.8,
+        metro_spread=2.2,
+        kind_weights={"enterprise": 0.55, "content": 0.2, "access": 0.15, "tier2": 0.1},
+    ),
+    PR_B_NV: GroupStats(
+        label=PR_B_NV,
+        cbis_per_as=5.67e3 / 0.11e3,   # ~51.5
+        abis_per_as=19.0,
+        cone_median=20000.0,
+        cone_sigma=1.2,
+        metro_spread=9.0,
+        kind_weights={"tier1": 0.9, "tier2": 0.1},
+    ),
+    PR_B_V: GroupStats(
+        label=PR_B_V,
+        cbis_per_as=2.09e3 / 0.06e3,   # ~35
+        abis_per_as=5.5,
+        cone_median=8000.0,
+        cone_sigma=1.3,
+        metro_spread=7.0,
+        kind_weights={"tier1": 0.6, "tier2": 0.3, "access": 0.1},
+    ),
+}
+
+
+def group_is_public(group: str) -> bool:
+    return group in (PB_NB, PB_B)
+
+
+def group_is_bgp_visible(group: str) -> bool:
+    return group in (PB_B, PR_B_NV, PR_B_V)
+
+
+def group_is_virtual(group: str) -> bool:
+    return group in (PR_NB_V, PR_B_V)
+
+
+def census_profiles() -> List[Tuple[FrozenSet[str], int]]:
+    """The census as a deterministic (sorted) list of (profile, count)."""
+    return sorted(
+        HYBRID_CENSUS.items(), key=lambda kv: (-kv[1], tuple(sorted(kv[0])))
+    )
+
+
+def dominant_kind_weights(profile: FrozenSet[str]) -> Dict[str, float]:
+    """Blend kind weights across the groups in a hybrid profile."""
+    blended: Dict[str, float] = {}
+    for group in profile:
+        for kind, w in GROUP_STATS[group].kind_weights.items():
+            blended[kind] = blended.get(kind, 0.0) + w
+    return blended

@@ -1,0 +1,360 @@
+"""Client-AS topology: address blocks, cones, routed space, egress maps.
+
+Each peer AS gets announced network blocks (what BGP sees), an
+infrastructure block (router links -- sometimes never announced: the
+WHOIS-only CBIs of Table 1), a sampled set of routed /24s standing in for
+its customer cone, internal routers, and optionally downstream stub ASes
+when the peer is a transit network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.asn import ASInfo, ASN, ASRegistry
+from repro.net.geo import Metro, MetroCatalog, metro_distance_km
+from repro.net.ip import Prefix
+from repro.net.rng import bounded_lognormal, coin, weighted_choice
+from repro.world.addressing import AddressPlan
+from repro.world.entities import ClientAS, Router, RouterRole
+from repro.world.model import Slash24Route, World
+from repro.world.peerings import IdSource
+from repro.world.profiles import GROUP_STATS, dominant_kind_weights
+
+#: How many /24s of an AS's cone we instantiate for probing, by AS kind.
+ROUTED_SLASH24_RANGE: Dict[str, Tuple[int, int]] = {
+    "tier1": (18, 48),
+    "tier2": (10, 30),
+    "access": (6, 18),
+    "content": (3, 10),
+    "enterprise": (1, 6),
+}
+
+#: Downstream stub ASes to hang off transit peers (their cone, made real).
+DOWNSTREAM_STUBS: Dict[str, Tuple[int, int]] = {
+    "tier1": (3, 6),
+    "tier2": (1, 4),
+    "access": (0, 2),
+    "content": (0, 0),
+    "enterprise": (0, 0),
+}
+
+
+def pick_footprint(
+    rng: random.Random,
+    catalog: MetroCatalog,
+    home: Metro,
+    spread: float,
+) -> Tuple[str, ...]:
+    """Home metro plus nearby metros, count driven by the group's spread."""
+    extra = max(0, bounded_lognormal(rng, max(spread, 0.7), 0.7, 0, 25) - 1)
+    if extra == 0:
+        return (home.code,)
+    ranked = sorted(
+        (m for m in catalog if m.code != home.code),
+        key=lambda m: metro_distance_km(home, m),
+    )
+    # Prefer close metros but allow occasional far-away presence.
+    chosen: List[str] = [home.code]
+    pool = ranked[: max(8, extra * 3)]
+    rng.shuffle(pool)
+    for metro in pool[:extra]:
+        chosen.append(metro.code)
+    return tuple(chosen)
+
+
+class ClientASBuilder:
+    """Creates one fully-populated :class:`ClientAS` per sampled profile."""
+
+    def __init__(
+        self,
+        world: World,
+        ids: IdSource,
+        rng: random.Random,
+        plan: AddressPlan,
+        registry: ASRegistry,
+        config,
+    ) -> None:
+        self.world = world
+        self.ids = ids
+        self.rng = rng
+        self.plan = plan
+        self.registry = registry
+        self.config = config
+        self._next_asn = 1000
+        self._next_stub_asn = 60000
+        self._infra_cursor: Dict[Prefix, int] = {}
+        #: /24 network -> peer AS that carries it (parent for stubs)
+        self._route_parent: Dict[int, ASN] = {}
+        #: interconnections that never carry destination traffic (§4.2)
+        self._backup_icx: set = set()
+
+    # ------------------------------------------------------------------
+
+    def _take_asn(self) -> ASN:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def _take_stub_asn(self) -> ASN:
+        asn = self._next_stub_asn
+        self._next_stub_asn += 1
+        return asn
+
+    @property
+    def infra_cursor(self) -> Dict[Prefix, int]:
+        """Shared cursor for carving interconnect subnets from infra blocks."""
+        return self._infra_cursor
+
+    def _sample_kind(self, profile: FrozenSet[str]) -> str:
+        weights = dominant_kind_weights(profile)
+        kinds = sorted(weights)
+        return weighted_choice(self.rng, kinds, [weights[k] for k in kinds])
+
+    def _sample_cone(self, profile: FrozenSet[str]) -> int:
+        stats = max((GROUP_STATS[g] for g in profile), key=lambda s: s.cone_median)
+        return bounded_lognormal(
+            self.rng, stats.cone_median, stats.cone_sigma, 1, 300_000
+        )
+
+    def _internal_router(self, asn: ASN, metro_code: str, infra_block: Prefix) -> int:
+        """A client-internal router with one infra-addressed interface."""
+        from repro.world.entities import Interface
+
+        router = Router(
+            router_id=self.ids.take(),
+            owner_asn=asn,
+            role=RouterRole.CLIENT_INTERNAL,
+            metro_code=metro_code,
+            responsiveness=1.0
+            if self.rng.random() >= self.config.router_unresponsive_rate
+            else 0.0,
+        )
+        self.world.add_router(router)
+        offset = self._infra_cursor.get(infra_block, 0)
+        ip = infra_block.network + offset
+        self._infra_cursor[infra_block] = offset + 4
+        self.world.add_interface(
+            Interface(ip=ip, router_id=router.router_id, addr_owner_asn=asn)
+        )
+        self.world.via_metros[ip] = (metro_code,)
+        return router.router_id
+
+    # ------------------------------------------------------------------
+
+    def build_client(self, profile: FrozenSet[str]) -> ClientAS:
+        asn = self._take_asn()
+        kind = self._sample_kind(profile)
+        catalog = self.world.catalog
+        codes = catalog.codes()
+        home = catalog.get(codes[self.rng.randrange(len(codes))])
+        spread = max(GROUP_STATS[g].metro_spread for g in profile)
+        footprint = pick_footprint(self.rng, catalog, home, spread)
+        name = f"{kind}-net-{asn}"
+        self.registry.add(
+            ASInfo(asn=asn, name=name, org_id=f"ORG-{asn}", kind=kind, country=home.country)
+        )
+
+        # Announced network blocks.
+        n_blocks = 1 + (1 if coin(self.rng, 0.35) else 0)
+        announced: List[Prefix] = []
+        for _ in range(n_blocks):
+            length = self.rng.choice((20, 21, 21, 22))
+            announced.append(self.plan.client_network(asn, name, length))
+
+        # Infrastructure block (may stay out of BGP -> WHOIS-only CBIs).
+        infra = self.plan.client_infra(asn, name, 20)
+        cfg = self.config
+        infra_r1 = coin(self.rng, cfg.infra_announced_r1_rate)
+        late: List[Prefix] = []
+        if not infra_r1 and coin(self.rng, cfg.infra_late_announce_rate):
+            late.append(infra)
+
+        client = ClientAS(
+            asn=asn,
+            profile=profile,
+            home_metro=home.code,
+            footprint_metros=footprint,
+            cone_slash24=self._sample_cone(profile),
+            announced_prefixes=announced + ([] if infra_r1 else []),
+            late_announced=late,
+        )
+        if infra_r1:
+            client.announced_prefixes.append(infra)
+        self.world.client_ases[asn] = client
+
+        # One internal router at home; downstream stubs for transit kinds.
+        internal_id = self._internal_router(asn, home.code, infra)
+        client.internal_router_ids.append(internal_id)
+
+        self._instantiate_routed_space(client, kind, announced, infra, internal_id)
+        return client
+
+    # ------------------------------------------------------------------
+
+    def _instantiate_routed_space(
+        self,
+        client: ClientAS,
+        kind: str,
+        announced: List[Prefix],
+        infra: Prefix,
+        internal_router_id: int,
+    ) -> None:
+        """Create the /24 routes that probes can actually traverse."""
+        lo, hi = ROUTED_SLASH24_RANGE[kind]
+        n_routed = self.rng.randint(lo, hi)
+        own_24s: List[Prefix] = []
+        for block in announced:
+            own_24s.extend(block.slash24s())
+        self.rng.shuffle(own_24s)
+        routed = own_24s[:n_routed]
+
+        for p24 in routed:
+            self._add_route(p24, client.asn, (internal_router_id,), announced_r1=True)
+        client.routed_slash24s.extend(routed)
+
+        # The infra block's /24s are routed toward the AS as well (router
+        # links answer traceroute), announced or not.
+        for p24 in infra.slash24s():
+            self._add_route(
+                p24,
+                client.asn,
+                (),
+                announced_r1=infra in client.announced_prefixes,
+                dest_response_p=0.02,
+            )
+            client.routed_slash24s.append(p24)
+
+        # Downstream stub ASes make the transit cone concrete.
+        slo, shi = DOWNSTREAM_STUBS[kind]
+        for _ in range(self.rng.randint(slo, shi) if shi else 0):
+            self._build_stub(client)
+
+    def _build_stub(self, parent: ClientAS) -> None:
+        asn = self._take_stub_asn()
+        name = f"stub-net-{asn}"
+        home = parent.home_metro
+        self.registry.add(
+            ASInfo(asn=asn, name=name, org_id=f"ORG-{asn}", kind="enterprise")
+        )
+        block = self.plan.client_network(asn, name, 22)
+        stub_router = Router(
+            router_id=self.ids.take(),
+            owner_asn=asn,
+            role=RouterRole.CLIENT_INTERNAL,
+            metro_code=home,
+            responsiveness=1.0
+            if self.rng.random() >= self.config.router_unresponsive_rate
+            else 0.0,
+        )
+        self.world.add_router(stub_router)
+        from repro.world.entities import Interface
+
+        ip = block.network + 1
+        self.world.add_interface(
+            Interface(ip=ip, router_id=stub_router.router_id, addr_owner_asn=asn)
+        )
+        self.world.via_metros[ip] = (home,)
+
+        all_24s = list(block.slash24s())
+        self.rng.shuffle(all_24s)
+        chain = tuple(parent.internal_router_ids[:1]) + (stub_router.router_id,)
+        for p24 in all_24s[: self.rng.randint(1, 3)]:
+            self._add_route(p24, asn, chain, announced_r1=True, via_parent=parent.asn)
+            parent.routed_slash24s.append(p24)
+
+    def _add_route(
+        self,
+        p24: Prefix,
+        owner_asn: ASN,
+        chain: Tuple[int, ...],
+        announced_r1: bool,
+        dest_response_p: Optional[float] = None,
+        via_parent: Optional[ASN] = None,
+    ) -> None:
+        if p24.network in self.world.routes:
+            return
+        self.world.routes[p24.network] = Slash24Route(
+            prefix=p24,
+            owner_asn=owner_asn,
+            serving_icx_ids=(),
+            egress_by_region={},
+            chain_router_ids=chain,
+            dest_response_p=(
+                self.config.dest_response_rate
+                if dest_response_p is None
+                else dest_response_p
+            ),
+            announced_r1=announced_r1,
+            carrier_asn=via_parent or owner_asn,
+        )
+        self.world.sweep_slash24s.append(p24)
+        # Remember which peer AS carries this /24 (for egress assignment).
+        self._route_parent[p24.network] = via_parent or owner_asn
+        self.world.asn_carrier[owner_asn] = via_parent or owner_asn
+
+    # ------------------------------------------------------------------
+    # egress assignment (after interconnections exist)
+    # ------------------------------------------------------------------
+
+    def assign_egress(self) -> None:
+        """Distribute each AS's routed /24s across its interconnections.
+
+        Backup interconnections serve no destination traffic (they are the
+        round-2-only discoveries of §4.2); the rest split the /24s, and
+        each (region, /24) picks the lowest-propagation serving icx
+        (hot-potato routing).
+        """
+        world = self.world
+        catalog = world.catalog
+        region_metro = {
+            name: rt.metro_code for name, rt in world.regions["amazon"].items()
+        }
+
+        # Group routes per carrying peer AS.
+        by_parent: Dict[ASN, List[Slash24Route]] = {}
+        for net, route in world.routes.items():
+            parent = self._route_parent.get(net, route.owner_asn)
+            by_parent.setdefault(parent, []).append(route)
+
+        for asn, routes in by_parent.items():
+            client = world.client_ases.get(asn)
+            if client is None or not client.icx_ids:
+                continue
+            active = [
+                i
+                for i in client.icx_ids
+                if not world.interconnections[i].uses_private_addresses
+                and i not in self._backup_icx
+            ]
+            if not active:
+                active = [
+                    i
+                    for i in client.icx_ids
+                    if not world.interconnections[i].uses_private_addresses
+                ]
+            if not active:
+                continue
+            for rname, rmetro in region_metro.items():
+                world.client_default_egress[(asn, rname)] = min(
+                    active,
+                    key=lambda i: catalog.distance_km(
+                        rmetro, world.interconnections[i].metro_code
+                    ),
+                )
+            for route in routes:
+                k = max(1, min(len(active), 1 + self.rng.randrange(3)))
+                serving = self.rng.sample(active, k)
+                route.serving_icx_ids = tuple(serving)
+                for rname, rmetro in region_metro.items():
+                    best = min(
+                        serving,
+                        key=lambda i: catalog.distance_km(
+                            rmetro, world.interconnections[i].metro_code
+                        ),
+                    )
+                    route.egress_by_region[rname] = best
+
+    def set_backups(self, backup_icx_ids: set) -> None:
+        self._backup_icx = set(backup_icx_ids)

@@ -1,0 +1,162 @@
+"""Tests for the address plan and the Table-6 profile mixture."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import AddressPool, Prefix, parse_ip
+from repro.world.addressing import AddressPlan
+from repro.world.profiles import (
+    ALL_GROUPS,
+    CENSUS_TOTAL,
+    GROUP_STATS,
+    HYBRID_CENSUS,
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+    census_profiles,
+    dominant_kind_weights,
+    group_is_bgp_visible,
+    group_is_public,
+    group_is_virtual,
+)
+
+
+class TestAddressPlan:
+    def test_superblocks_disjoint(self):
+        blocks = [Prefix.parse(t) for t in AddressPlan.SUPERBLOCKS.values()]
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                assert not a.overlaps(b), (a, b)
+
+    def test_allocate_and_lookup(self):
+        plan = AddressPlan()
+        p = plan.client_network(4242, "acme", 20)
+        alloc = plan.owner_of(p.network + 7)
+        assert alloc is not None
+        assert alloc.owner_asn == 4242
+        assert alloc.category == "client"
+
+    def test_lookup_outside_allocations(self):
+        plan = AddressPlan()
+        plan.client_network(1, "a", 20)
+        assert plan.owner_of(parse_ip("11.0.0.1")) is None
+
+    def test_categories(self):
+        plan = AddressPlan()
+        plan.cloud_block("amazon", 12, 16509)
+        plan.client_infra(5, "x", 24)
+        plan.ixp_lan("ix-1", 22)
+        assert len(plan.allocations_of("cloud")) == 1
+        assert len(plan.allocations_of("infra")) == 1
+        assert len(plan.allocations_of("ixp")) == 1
+
+    def test_ixp_lan_owner_zero(self):
+        plan = AddressPlan()
+        p = plan.ixp_lan("ix-1")
+        assert plan.owner_of(p.network + 1).owner_asn == 0
+
+    def test_client_carve_interconnect(self):
+        plan = AddressPlan()
+        block = plan.client_infra(9, "c9", 24)
+        cursor = {}
+        s1 = plan.carve_interconnect("client", block, None, cursor)
+        s2 = plan.carve_interconnect("client", block, None, cursor)
+        assert not s1.prefix.overlaps(s2.prefix)
+        assert s1.provided_by == "client"
+        assert s1.client_side in block
+
+    def test_client_carve_requires_block(self):
+        plan = AddressPlan()
+        with pytest.raises(ValueError):
+            plan.carve_interconnect("client", None, None, {})
+
+    def test_carve_rejects_bad_provider(self):
+        plan = AddressPlan()
+        block = plan.client_infra(9, "c9", 24)
+        with pytest.raises(ValueError):
+            plan.carve_interconnect("martian", block, None, {})
+
+    def test_client_carve_exhaustion(self):
+        plan = AddressPlan()
+        block = plan.client_infra(9, "c9", 28)  # 16 addresses = 4 subnets
+        cursor = {}
+        for _ in range(4):
+            plan.carve_interconnect("client", block, None, cursor)
+        with pytest.raises(ValueError):
+            plan.carve_interconnect("client", block, None, cursor)
+
+    @given(st.lists(st.integers(min_value=18, max_value=24), min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, lengths):
+        plan = AddressPlan()
+        for i, length in enumerate(lengths):
+            plan.client_network(i + 1, f"as{i}", length)
+        allocs = plan.allocations
+        for i, a in enumerate(allocs):
+            for b in allocs[i + 1 :]:
+                assert not a.prefix.overlaps(b.prefix)
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_owner_of_matches_linear_scan(self, offset):
+        plan = AddressPlan()
+        for i in range(8):
+            plan.client_network(i + 1, f"as{i}", 22)
+        addr = Prefix.parse("60.0.0.0/6").network + offset * 1024
+        fast = plan.owner_of(addr)
+        slow = next(
+            (a for a in plan.allocations if addr in a.prefix), None
+        )
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert fast.prefix == slow.prefix
+
+
+class TestProfiles:
+    def test_census_total_matches_paper(self):
+        # The paper reports ~3.55k peer ASes; Table 6 sums to 3,548.
+        assert CENSUS_TOTAL == 3548
+
+    def test_every_census_group_is_known(self):
+        for profile in HYBRID_CENSUS:
+            assert profile <= set(ALL_GROUPS)
+
+    def test_largest_profile_is_public_only(self):
+        top = max(HYBRID_CENSUS.items(), key=lambda kv: kv[1])
+        assert top[0] == frozenset({PB_NB})
+        assert top[1] == 2187
+
+    def test_census_profiles_sorted(self):
+        ordered = census_profiles()
+        counts = [c for _p, c in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_group_flags(self):
+        assert group_is_public(PB_NB) and group_is_public(PB_B)
+        assert not group_is_public(PR_NB_NV)
+        assert group_is_bgp_visible(PB_B)
+        assert group_is_bgp_visible(PR_B_NV) and group_is_bgp_visible(PR_B_V)
+        assert not group_is_bgp_visible(PB_NB)
+        assert group_is_virtual(PR_NB_V) and group_is_virtual(PR_B_V)
+        assert not group_is_virtual(PR_B_NV)
+
+    def test_group_stats_cover_all_groups(self):
+        assert set(GROUP_STATS) == set(ALL_GROUPS)
+
+    def test_cbis_per_as_ordering(self):
+        # Table 5: Pr-B peers have far more CBIs per AS than public peers.
+        assert GROUP_STATS[PR_B_NV].cbis_per_as > GROUP_STATS[PR_NB_NV].cbis_per_as
+        assert GROUP_STATS[PR_NB_NV].cbis_per_as > GROUP_STATS[PB_NB].cbis_per_as
+
+    def test_cone_ordering(self):
+        # Fig. 6: transit groups have the largest customer cones.
+        assert GROUP_STATS[PR_B_NV].cone_median > GROUP_STATS[PB_B].cone_median
+        assert GROUP_STATS[PB_B].cone_median > GROUP_STATS[PB_NB].cone_median
+
+    def test_dominant_kind_weights_blend(self):
+        weights = dominant_kind_weights(frozenset({PB_NB, PR_NB_NV}))
+        assert weights
+        assert all(w > 0 for w in weights.values())
+        single = dominant_kind_weights(frozenset({PR_B_NV}))
+        assert single["tier1"] > single.get("tier2", 0)

@@ -1,0 +1,130 @@
+"""Tests for anchor identification (§6.1) and cross-validation (§6.2)."""
+
+import random
+
+import pytest
+
+from repro.core.crossval import (
+    cross_validate_pinning,
+    stratified_split,
+)
+
+
+class TestStratifiedSplit:
+    def test_partition(self):
+        anchors = {i: ("IAD" if i % 2 else "LHR") for i in range(40)}
+        rng = random.Random(1)
+        train, test = stratified_split(anchors, rng)
+        assert set(train) | set(test) == set(anchors)
+        assert not set(train) & set(test)
+
+    def test_metro_proportions_preserved(self):
+        anchors = {i: "IAD" for i in range(30)}
+        anchors.update({100 + i: "LHR" for i in range(10)})
+        train, test = stratified_split(anchors, random.Random(2), 0.7)
+        iad_train = sum(1 for m in train.values() if m == "IAD")
+        lhr_train = sum(1 for m in train.values() if m == "LHR")
+        assert iad_train == 21
+        assert lhr_train == 7
+
+    def test_singleton_metro_stays_in_train(self):
+        anchors = {1: "SIN"}
+        train, test = stratified_split(anchors, random.Random(3))
+        assert train == {1: "SIN"}
+        assert test == {}
+
+    def test_deterministic_given_seed(self):
+        anchors = {i: ("IAD" if i % 3 else "FRA") for i in range(30)}
+        t1 = stratified_split(anchors, random.Random(4))
+        t2 = stratified_split(anchors, random.Random(4))
+        assert t1 == t2
+
+
+class TestCrossValidation:
+    def _inputs(self):
+        # Alias sets tie anchors together so held-out ones are re-pinned.
+        anchors = {}
+        alias_sets = []
+        for i in range(10):
+            base = i * 10
+            metro = ["IAD", "LHR", "FRA"][i % 3]
+            anchors[base] = metro
+            anchors[base + 1] = metro
+            anchors[base + 2] = metro
+            alias_sets.append({base, base + 1, base + 2})
+        return anchors, alias_sets
+
+    def test_perfect_recovery_through_alias_sets(self):
+        anchors, alias_sets = self._inputs()
+        cv = cross_validate_pinning(anchors, alias_sets, [], {}, folds=5, seed=1)
+        assert len(cv.folds) == 5
+        assert cv.mean_precision == 1.0
+        assert cv.mean_recall > 0.9
+
+    def test_no_propagation_means_zero_recall(self):
+        anchors, _ = self._inputs()
+        cv = cross_validate_pinning(anchors, [], [], {}, folds=3, seed=1)
+        assert cv.mean_recall == 0.0
+        # Precision defaults to 1.0 when nothing is pinned.
+        assert cv.mean_precision == 1.0
+
+    def test_fold_metrics_bounded(self, study_result):
+        cv = study_result.crossval
+        if cv is None:
+            pytest.skip("study ran without cross-validation")
+        for fold in cv.folds:
+            assert 0.0 <= fold.precision <= 1.0
+            assert 0.0 <= fold.recall <= 1.0
+            assert fold.test_size > 0
+
+    def test_std_zero_for_single_fold(self):
+        anchors, alias_sets = self._inputs()
+        cv = cross_validate_pinning(anchors, alias_sets, [], {}, folds=1, seed=2)
+        assert cv.std_precision == 0.0
+        assert cv.std_recall == 0.0
+
+
+class TestAnchorsOnStudy:
+    """Anchor invariants over the real end-to-end study fixture."""
+
+    def test_anchor_ips_are_border_interfaces(self, study_result):
+        anchors = study_result.anchors
+        universe = study_result.abis | study_result.cbis
+        for ip in anchors.anchors:
+            assert ip in universe
+
+    def test_flagged_anchors_not_in_final_set(self, study_result):
+        anchors = study_result.anchors
+        for ip in anchors.flagged_alias:
+            assert ip not in anchors.anchors
+
+    def test_exclusive_counts_sum_to_anchor_total(self, study_result):
+        anchors = study_result.anchors
+        assert sum(anchors.exclusive_counts().values()) == len(anchors.anchors)
+
+    def test_cumulative_monotone(self, study_result):
+        cumulative = study_result.anchors.cumulative_counts()
+        values = [cumulative[k] for k in ("dns", "ixp", "metro", "native")]
+        assert values == sorted(values)
+
+    def test_native_anchors_at_region_metros(self, study, study_result):
+        runner, result = study
+        region_metros = set(runner.region_metro.values())
+        for ip, evidence in result.anchors.evidence.items():
+            if evidence == {"native"}:
+                assert result.anchors.anchors[ip] in region_metros
+
+    def test_anchor_metros_exist_in_catalog(self, study, study_result):
+        runner, result = study
+        for metro in result.anchors.anchors.values():
+            assert metro in runner.world.catalog
+
+    def test_dns_rtt_exclusions_counted(self, study_result):
+        # The RTT-feasibility filter exists and its counter is sane.
+        assert study_result.anchors.dns_rtt_excluded >= 0
+
+    def test_ixp_local_remote_partition(self, study_result):
+        anchors = study_result.anchors
+        assert anchors.local_ixp_members >= 0
+        assert anchors.remote_ixp_members >= 0
+        assert anchors.local_ixp_members + anchors.remote_ixp_members > 0

@@ -1,0 +1,207 @@
+"""Tests for hop annotation (§3) and the basic border strategy (§4.1)."""
+
+import pytest
+
+from repro.core.annotate import AnnotationSource, HopAnnotator
+from repro.core.borders import BorderObservatory, DropReason
+from repro.datasets import (
+    as2org_from_world,
+    ixp_directory_from_world,
+    peeringdb_from_world,
+    snapshot_from_world,
+)
+from repro.datasets.whois import WhoisRegistry
+from repro.measure.traceroute import StopReason, TraceHop, Traceroute
+from repro.net.asn import AMAZON_ORG_ID, AMAZON_PRIMARY_ASN
+from repro.net.ip import parse_ip
+
+
+@pytest.fixture(scope="module")
+def annotator(tiny_world):
+    pdb = peeringdb_from_world(tiny_world, seed=0)
+    return HopAnnotator(
+        snapshot_from_world(tiny_world, "r1"),
+        WhoisRegistry(tiny_world, seed=0, asn_coverage=1.0),
+        as2org_from_world(tiny_world, seed=0, coverage=1.0),
+        ixp_directory_from_world(tiny_world, pdb, seed=0),
+    )
+
+
+class TestAnnotator:
+    def test_private_space_is_as0(self, annotator):
+        ann = annotator.annotate(parse_ip("10.1.2.3"))
+        assert ann.asn == 0
+        assert ann.source == AnnotationSource.PRIVATE
+        assert not annotator.is_border_candidate(ann)
+
+    def test_amazon_announced_is_home(self, tiny_world, annotator):
+        block = tiny_world.cloud_announced_blocks["amazon"][0]
+        ann = annotator.annotate(block.network + 5)
+        assert ann.org == AMAZON_ORG_ID
+        assert annotator.is_home(ann)
+        assert not annotator.is_border_candidate(ann)
+
+    def test_amazon_infra_resolved_via_whois(self, tiny_world, annotator):
+        infra = tiny_world.cloud_infra_blocks["amazon"][0]
+        ann = annotator.annotate(infra.network + 5)
+        assert ann.source == AnnotationSource.WHOIS
+        assert annotator.is_home(ann)
+
+    def test_client_space_is_border_candidate(self, tiny_world, annotator):
+        client = next(iter(tiny_world.client_ases.values()))
+        ann = annotator.annotate(client.announced_prefixes[0].network + 3)
+        assert ann.asn == client.asn
+        assert annotator.is_border_candidate(ann)
+
+    def test_ixp_address_always_candidate(self, tiny_world, annotator):
+        ixp = next(iter(tiny_world.ixps.values()))
+        members = [ip for ips in ixp.member_ips.values() for ip in ips]
+        if not members:
+            pytest.skip("empty IXP")
+        ann = annotator.annotate(members[0])
+        assert ann.is_ixp
+        assert annotator.is_border_candidate(ann)
+
+    def test_unknown_space_not_candidate(self, annotator):
+        ann = annotator.annotate(parse_ip("11.3.4.5"))
+        assert ann.asn == 0
+        assert ann.source == AnnotationSource.NONE
+        assert not annotator.is_border_candidate(ann)
+
+    def test_cache_returns_same_object(self, annotator):
+        a = annotator.annotate(parse_ip("10.0.0.1"))
+        b = annotator.annotate(parse_ip("10.0.0.1"))
+        assert a is b
+
+
+def _trace(hop_ips, dst, region="us-east-1", completed=False):
+    hops = [
+        TraceHop(ttl=i + 1, ip=ip, rtt_ms=None if ip is None else 1.0 + i)
+        for i, ip in enumerate(hop_ips)
+    ]
+    return Traceroute(
+        cloud="amazon",
+        region=region,
+        dst=dst,
+        hops=hops,
+        stop_reason=StopReason.COMPLETED if completed else StopReason.GAP_LIMIT,
+    )
+
+
+@pytest.fixture()
+def fresh_observatory(annotator):
+    return BorderObservatory(annotator)
+
+
+@pytest.fixture(scope="module")
+def sample_ips(tiny_world):
+    """(amazon ip 1, amazon ip 2, client cbi, client internal, dst)."""
+    amazon = tiny_world.cloud_announced_blocks["amazon"][0]
+    icx = next(
+        i
+        for i in tiny_world.interconnections.values()
+        if i.subnet is not None and i.subnet.provided_by == "client"
+    )
+    client = tiny_world.client_ases[icx.peer_asn]
+    dst = client.announced_prefixes[0].network + 7
+    return (
+        amazon.network + 200,
+        amazon.network + 201,
+        icx.cbi_ip,
+        icx.cbi_ip + 40,  # same infra block -> client-owned address
+        dst,
+    )
+
+
+class TestBasicStrategy:
+    def test_segment_detected(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _internal, dst = sample_ips
+        seg = fresh_observatory.ingest(_trace([a1, a2, cbi], dst))
+        assert seg == (a2, cbi)
+        assert (a2, cbi) in fresh_observatory.segments
+
+    def test_no_border_trace(self, fresh_observatory, sample_ips):
+        a1, a2, _cbi, _i, dst = sample_ips
+        assert fresh_observatory.ingest(_trace([a1, a2, None], dst)) is None
+        assert fresh_observatory.stats.dropped[DropReason.NO_BORDER] == 1
+
+    def test_gap_before_border_dropped(self, fresh_observatory, sample_ips):
+        a1, _a2, cbi, _i, dst = sample_ips
+        assert fresh_observatory.ingest(_trace([a1, None, cbi], dst)) is None
+        assert fresh_observatory.stats.dropped[DropReason.GAP_BEFORE_BORDER] == 1
+
+    def test_duplicate_before_border_dropped(self, fresh_observatory, sample_ips):
+        a1, _a2, cbi, _i, dst = sample_ips
+        assert fresh_observatory.ingest(_trace([a1, a1, cbi], dst)) is None
+        assert (
+            fresh_observatory.stats.dropped[DropReason.DUPLICATE_BEFORE_BORDER] == 1
+        )
+
+    def test_loop_after_border_dropped(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, internal, dst = sample_ips
+        assert (
+            fresh_observatory.ingest(_trace([a1, a2, cbi, internal, cbi], dst)) is None
+        )
+        assert fresh_observatory.stats.dropped[DropReason.LOOP] == 1
+
+    def test_cbi_as_destination_dropped(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, _dst = sample_ips
+        assert fresh_observatory.ingest(_trace([a1, a2, cbi], cbi)) is None
+        assert fresh_observatory.stats.dropped[DropReason.CBI_IS_DESTINATION] == 1
+
+    def test_reentering_amazon_dropped(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, dst = sample_ips
+        assert fresh_observatory.ingest(_trace([a1, a2, cbi, a1 + 5], dst)) is None
+        assert fresh_observatory.stats.dropped[DropReason.REENTERS_HOME] == 1
+
+    def test_border_at_first_hop_dropped(self, fresh_observatory, sample_ips):
+        _a1, _a2, cbi, _i, dst = sample_ips
+        assert fresh_observatory.ingest(_trace([cbi], dst)) is None
+
+    def test_successor_map_updated(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, internal, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi, internal], dst))
+        assert fresh_observatory.successors[a2][cbi] == 1
+        assert fresh_observatory.successors[cbi][internal] == 1
+
+    def test_prev_ip_recorded(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst))
+        record = fresh_observatory.segments[(a2, cbi)]
+        assert record.prev_ips[a1] == 1
+
+    def test_dst_slash24_tracked(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst))
+        record = fresh_observatory.segments[(a2, cbi)]
+        assert dst & 0xFFFFFF00 in record.dst_slash24s
+        assert dst in record.dst_sample
+
+    def test_regions_accumulate(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst, region="r-a"))
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst + 1, region="r-b"))
+        record = fresh_observatory.segments[(a2, cbi)]
+        assert record.regions == {"r-a", "r-b"}
+        assert record.count == 2
+
+    def test_round_tracking(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, internal, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst))
+        fresh_observatory.start_round("r2")
+        fresh_observatory.ingest(_trace([a1, a2, internal], dst + 1))
+        r2_only = fresh_observatory.segments_first_seen_in("r2")
+        assert len(r2_only) == 1
+        assert fresh_observatory.iface_round[cbi] == "r1"
+
+    def test_min_rtt_tracked(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst))
+        assert fresh_observatory.min_rtt_of(cbi) is not None
+
+    def test_candidate_views(self, fresh_observatory, sample_ips):
+        a1, a2, cbi, _i, dst = sample_ips
+        fresh_observatory.ingest(_trace([a1, a2, cbi], dst))
+        assert fresh_observatory.candidate_abis() == {a2}
+        assert fresh_observatory.candidate_cbis() == {cbi}
+        assert fresh_observatory.cbis_of_abi(a2) == {cbi}

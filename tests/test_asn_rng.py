@@ -1,0 +1,147 @@
+"""Tests for AS identity primitives and seeded RNG helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.asn import (
+    AMAZON_ASNS,
+    AMAZON_ORG_ID,
+    ASInfo,
+    ASRegistry,
+    is_amazon_asn,
+)
+from repro.net.rng import (
+    bounded_lognormal,
+    coin,
+    jittered,
+    make_rng,
+    partition_sizes,
+    sample_counts,
+    weighted_choice,
+    zipf_sample,
+)
+
+
+class TestASRegistry:
+    def _registry(self):
+        reg = ASRegistry()
+        reg.add(ASInfo(asn=16509, name="amazon", org_id=AMAZON_ORG_ID, kind="cloud"))
+        reg.add(ASInfo(asn=7224, name="amazon-dx", org_id=AMAZON_ORG_ID, kind="cloud"))
+        reg.add(ASInfo(asn=3356, name="level3", org_id="ORG-L3", kind="tier1"))
+        return reg
+
+    def test_membership_and_len(self):
+        reg = self._registry()
+        assert 16509 in reg
+        assert 9999 not in reg
+        assert len(reg) == 3
+
+    def test_duplicate_rejected(self):
+        reg = self._registry()
+        with pytest.raises(ValueError):
+            reg.add(ASInfo(asn=16509, name="x", org_id="O", kind="cloud"))
+
+    def test_get_and_maybe(self):
+        reg = self._registry()
+        assert reg.get(3356).name == "level3"
+        assert reg.maybe(9999) is None
+        with pytest.raises(KeyError):
+            reg.get(9999)
+
+    def test_org_grouping(self):
+        reg = self._registry()
+        assert reg.same_org(16509, 7224)
+        assert not reg.same_org(16509, 3356)
+        assert sorted(reg.asns_of_org(AMAZON_ORG_ID)) == [7224, 16509]
+
+    def test_of_kind(self):
+        reg = self._registry()
+        assert [i.asn for i in reg.of_kind("tier1")] == [3356]
+
+    def test_asinfo_validates_range(self):
+        with pytest.raises(ValueError):
+            ASInfo(asn=-1, name="x", org_id="O", kind="cloud")
+
+    def test_amazon_sibling_set(self):
+        assert is_amazon_asn(7224)
+        assert is_amazon_asn(16509)
+        assert not is_amazon_asn(15169)
+        assert len(AMAZON_ASNS) == 8
+
+
+class TestRngHelpers:
+    def test_make_rng_deterministic(self):
+        a = make_rng(7, "x").random()
+        b = make_rng(7, "x").random()
+        c = make_rng(7, "y").random()
+        assert a == b
+        assert a != c
+
+    def test_bounded_lognormal_bounds(self):
+        rng = make_rng(1, "ln")
+        for _ in range(200):
+            v = bounded_lognormal(rng, mean=10.0, sigma=1.0, lo=1, hi=50)
+            assert 1 <= v <= 50
+
+    def test_bounded_lognormal_mean_approx(self):
+        rng = make_rng(2, "ln")
+        draws = [bounded_lognormal(rng, 10.0, 0.5, 1, 1000) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 8 < mean < 13
+
+    def test_bounded_lognormal_rejects_bad_args(self):
+        rng = make_rng(1, "ln")
+        with pytest.raises(ValueError):
+            bounded_lognormal(rng, -1.0, 1.0, 1, 10)
+        with pytest.raises(ValueError):
+            bounded_lognormal(rng, 1.0, 1.0, 10, 1)
+
+    def test_zipf_prefers_low_ranks(self):
+        rng = make_rng(3, "zipf")
+        draws = [zipf_sample(rng, 10, alpha=1.5) for _ in range(2000)]
+        assert all(1 <= d <= 10 for d in draws)
+        assert draws.count(1) > draws.count(10)
+
+    def test_zipf_rejects_zero(self):
+        with pytest.raises(ValueError):
+            zipf_sample(make_rng(0, "z"), 0)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = make_rng(4, "wc")
+        draws = [weighted_choice(rng, ["a", "b"], [99.0, 1.0]) for _ in range(500)]
+        assert draws.count("a") > 400
+
+    def test_weighted_choice_validation(self):
+        rng = make_rng(4, "wc")
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.0])
+
+    def test_sample_counts_distribution(self):
+        rng = make_rng(5, "sc")
+        profile = {"x": 90, "y": 10}
+        draws = sample_counts(rng, profile, 1000)
+        assert 800 < draws.count("x") < 980
+
+    def test_coin(self):
+        rng = make_rng(6, "coin")
+        heads = sum(coin(rng, 0.8) for _ in range(1000))
+        assert 700 < heads < 900
+
+    def test_jittered_non_negative_and_zero_spread(self):
+        rng = make_rng(7, "j")
+        assert jittered(rng, 5.0, 0.0) == 5.0
+        assert jittered(rng, 5.0, 1.0) >= 5.0
+
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=20))
+    def test_partition_sizes_sums(self, total, parts):
+        rng = make_rng(8, "p", total, parts)
+        sizes = partition_sizes(rng, total, parts)
+        assert len(sizes) == parts
+        assert sum(sizes) == total
+        assert all(s >= 0 for s in sizes)
+
+    def test_partition_sizes_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            partition_sizes(make_rng(0, "p"), 10, 0)

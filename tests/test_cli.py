@@ -1,0 +1,54 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == 0.05
+        assert args.seed == 7
+        assert not args.with_bdrmap
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--scale", "0.2", "--seed", "9", "--skip-vpi", "--with-bdrmap"]
+        )
+        assert args.scale == 0.2
+        assert args.seed == 9
+        assert args.skip_vpi
+        assert args.with_bdrmap
+
+
+class TestMain:
+    def test_tiny_run(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--seed", "13",
+                "--expansion-stride", "16",
+                "--skip-vpi",
+                "--skip-crossval",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 5" in out
+
+    def test_run_with_evaluation(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--seed", "13",
+                "--expansion-stride", "16",
+                "--skip-vpi",
+                "--skip-crossval",
+                "--with-evaluation",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ground-truth evaluation" in out

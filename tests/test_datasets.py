@@ -1,0 +1,232 @@
+"""Tests for the public-data substrates (BGP, WHOIS, as2org, PeeringDB, IXP)."""
+
+import pytest
+
+from repro.datasets.as2org import AS2Org, as2org_from_world
+from repro.datasets.bgp import Announcement, BGPSnapshot, snapshot_from_world
+from repro.datasets.ixp import ixp_directory_from_world
+from repro.datasets.peeringdb import peeringdb_from_world
+from repro.datasets.relationships import relationships_from_world
+from repro.datasets.whois import WhoisRegistry
+from repro.net.asn import AMAZON_ORG_ID, AMAZON_PRIMARY_ASN
+from repro.net.ip import Prefix, parse_ip
+
+
+class TestBGPSnapshot:
+    def test_longest_prefix_match(self):
+        snap = BGPSnapshot(
+            [
+                Announcement(Prefix.parse("10.0.0.0/8"), 1),
+                Announcement(Prefix.parse("10.1.0.0/16"), 2),
+            ],
+            [],
+        )
+        assert snap.origin_of(parse_ip("10.1.2.3")) == 2
+        assert snap.origin_of(parse_ip("10.2.2.3")) == 1
+        assert snap.origin_of(parse_ip("11.0.0.1")) is None
+
+    def test_links(self):
+        snap = BGPSnapshot([], [(AMAZON_PRIMARY_ASN, 42), (5, 6)])
+        assert snap.has_link(42, AMAZON_PRIMARY_ASN)
+        assert snap.amazon_peers() == {42}
+
+    def test_prefixes_of(self):
+        p = Prefix.parse("10.0.0.0/20")
+        snap = BGPSnapshot([Announcement(p, 7)], [])
+        assert snap.prefixes_of(7) == [p]
+
+    def test_world_snapshot_covers_client_space(self, tiny_world):
+        snap = snapshot_from_world(tiny_world, "r1")
+        client = next(iter(tiny_world.client_ases.values()))
+        block = client.announced_prefixes[0]
+        assert snap.origin_of(block.network + 5) == client.asn
+
+    def test_late_announcements_only_in_r2(self, tiny_world):
+        r1 = snapshot_from_world(tiny_world, "r1")
+        r2 = snapshot_from_world(tiny_world, "r2")
+        late_clients = [
+            c for c in tiny_world.client_ases.values() if c.late_announced
+        ]
+        if not late_clients:
+            pytest.skip("no late announcements at this seed")
+        block = late_clients[0].late_announced[0]
+        assert r1.origin_of(block.network + 1) is None
+        assert r2.origin_of(block.network + 1) == late_clients[0].asn
+
+    def test_bgp_links_only_visible_peerings(self, tiny_world):
+        snap = snapshot_from_world(tiny_world, "r1")
+        peers = snap.amazon_peers()
+        visible = {
+            i.peer_asn
+            for i in tiny_world.interconnections.values()
+            if i.bgp_visible
+        }
+        assert peers == visible
+
+    def test_cloud_infra_space_unannounced(self, tiny_world):
+        snap = snapshot_from_world(tiny_world, "r2")
+        infra = tiny_world.cloud_infra_blocks["amazon"][0]
+        assert snap.origin_of(infra.network + 10) is None
+
+
+class TestWhois:
+    def test_lookup_owner(self, tiny_world):
+        whois = WhoisRegistry(tiny_world, seed=0, asn_coverage=1.0)
+        client = next(iter(tiny_world.client_ases.values()))
+        block = client.announced_prefixes[0]
+        record = whois.lookup(block.network + 3)
+        assert record is not None
+        assert record.asn == client.asn
+
+    def test_unallocated_is_none(self, tiny_world):
+        whois = WhoisRegistry(tiny_world)
+        assert whois.lookup(parse_ip("11.0.0.1")) is None
+
+    def test_amazon_infra_resolves_to_amazon(self, tiny_world):
+        whois = WhoisRegistry(tiny_world, asn_coverage=1.0)
+        infra = tiny_world.cloud_infra_blocks["amazon"][0]
+        record = whois.lookup(infra.network + 9)
+        assert record.holder_name == "amazon"
+        assert record.asn == AMAZON_PRIMARY_ASN
+
+    def test_asn_coverage_drops_asn_not_holder(self, tiny_world):
+        whois = WhoisRegistry(tiny_world, seed=1, asn_coverage=0.0)
+        client = next(iter(tiny_world.client_ases.values()))
+        record = whois.lookup(client.announced_prefixes[0].network + 3)
+        assert record is not None
+        assert record.asn is None
+        assert record.holder_name
+
+
+class TestAS2Org:
+    def test_amazon_siblings_collapse(self, tiny_world):
+        dataset = as2org_from_world(tiny_world, seed=0)
+        assert dataset.same_org(16509, 7224)
+        assert dataset.org_of(16509) == AMAZON_ORG_ID
+
+    def test_coverage_gap(self, tiny_world):
+        sparse = as2org_from_world(tiny_world, seed=0, coverage=0.5)
+        full = as2org_from_world(tiny_world, seed=0, coverage=1.0)
+        assert len(sparse) < len(full)
+
+    def test_clouds_always_covered(self, tiny_world):
+        sparse = as2org_from_world(tiny_world, seed=0, coverage=0.0)
+        assert 16509 in sparse
+        assert 8075 in sparse
+
+    def test_same_org_none_for_unknown(self):
+        dataset = AS2Org({1: "A"})
+        assert not dataset.same_org(2, 2)
+
+
+class TestPeeringDB:
+    def test_ixps_have_prefixes(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0)
+        assert pdb.ixps
+        for ixp in pdb.ixps:
+            assert ixp.prefix.length <= 24
+
+    def test_member_lookup(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0, netixlan_coverage=1.0)
+        true_members = [
+            (ixp, asn, ip)
+            for ixp in tiny_world.ixps.values()
+            for asn, ips in ixp.member_ips.items()
+            for ip in ips
+        ]
+        if not true_members:
+            pytest.skip("no IXP members at this seed")
+        ixp, asn, ip = true_members[0]
+        rec = pdb.member_of_ip(ip)
+        assert rec is not None and rec.asn == asn
+
+    def test_netixlan_coverage_partial(self, tiny_world):
+        full = peeringdb_from_world(tiny_world, seed=0, netixlan_coverage=1.0)
+        partial = peeringdb_from_world(tiny_world, seed=0, netixlan_coverage=0.4)
+        assert len(partial.netixlans) < len(full.netixlans)
+
+    def test_single_metro_asns_consistent(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0, tenant_coverage=1.0)
+        for asn, metro in pdb.single_metro_asns().items():
+            assert pdb.metros_of_asn(asn) <= {metro} | set()
+
+    def test_metros_of_unknown_asn_empty(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0)
+        assert pdb.metros_of_asn(999999) == set()
+
+
+class TestIXPDirectory:
+    def test_prefix_membership(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0)
+        directory = ixp_directory_from_world(tiny_world, pdb, seed=0)
+        ixp = next(iter(tiny_world.ixps.values()))
+        assert directory.ixp_of(ixp.prefix.network + 5) == ixp.ixp_id
+        assert directory.is_ixp_address(ixp.prefix.network + 5)
+        assert not directory.is_ixp_address(parse_ip("11.0.0.1"))
+
+    def test_pch_supplements_members(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0, netixlan_coverage=0.0)
+        directory = ixp_directory_from_world(
+            tiny_world, pdb, seed=0, pch_recovery_rate=1.0
+        )
+        total_members = sum(
+            len(ips)
+            for ixp in tiny_world.ixps.values()
+            for ips in ixp.member_ips.values()
+        )
+        recovered = sum(
+            len(directory.member_ips_of(i)) for i in directory.ixp_ids()
+        )
+        assert recovered == total_members
+
+    def test_multi_metro_flag(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0)
+        directory = ixp_directory_from_world(tiny_world, pdb, seed=0)
+        for ixp in tiny_world.ixps.values():
+            assert directory.is_multi_metro(ixp.ixp_id) == ixp.multi_metro
+
+    def test_cities_match_world(self, tiny_world):
+        pdb = peeringdb_from_world(tiny_world, seed=0)
+        directory = ixp_directory_from_world(tiny_world, pdb, seed=0)
+        for ixp in tiny_world.ixps.values():
+            assert directory.cities_of(ixp.ixp_id) == tuple(ixp.metro_codes)
+
+
+class TestRelationships:
+    def test_visible_amazon_links(self, tiny_world):
+        rel = relationships_from_world(tiny_world)
+        visible = {
+            i.peer_asn for i in tiny_world.interconnections.values() if i.bgp_visible
+        }
+        assert rel.amazon_links() == visible
+
+    def test_transit_edges_for_every_client(self, tiny_world):
+        rel = relationships_from_world(tiny_world)
+        from repro.world.build import TRANSIT_ASNS
+
+        for asn in tiny_world.client_ases:
+            providers = rel.providers_of(asn)
+            assert providers
+            assert providers <= set(TRANSIT_ASNS)
+
+    def test_stub_providers_are_their_carriers(self, tiny_world):
+        rel = relationships_from_world(tiny_world)
+        stubs = [
+            (owner, carrier)
+            for owner, carrier in tiny_world.asn_carrier.items()
+            if owner != carrier
+        ]
+        if not stubs:
+            pytest.skip("no downstream stubs at this seed")
+        for owner, carrier in stubs:
+            assert rel.providers_of(owner) == {carrier}
+
+    def test_cone_sizes_positive(self, tiny_world):
+        rel = relationships_from_world(tiny_world)
+        for asn, client in tiny_world.client_ases.items():
+            assert rel.cone_slash24(asn) == client.cone_slash24
+            assert rel.cone_slash24(asn) >= 1
+
+    def test_unknown_asn_cone_default(self, tiny_world):
+        rel = relationships_from_world(tiny_world)
+        assert rel.cone_slash24(123456789) == 1

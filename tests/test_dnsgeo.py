@@ -1,0 +1,151 @@
+"""Tests for the DRoP-style DNS parser, including generator round-trips."""
+
+import random
+
+import pytest
+
+from repro.core.dnsgeo import (
+    DNSGeoParser,
+    has_vlan_tag,
+    has_vpi_keywords,
+    vpi_evidence,
+)
+from repro.net.geo import DEFAULT_CATALOG
+from repro.world.dns import (
+    enterprise_interface_name,
+    generic_interface_name,
+    synthesize_cbi_name,
+    transit_interface_name,
+    vpi_interface_name,
+)
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return DNSGeoParser(DEFAULT_CATALOG)
+
+
+class TestParsing:
+    def test_iata_with_state_suffix(self, parser):
+        hint = parser.parse("ae-4.amazon.atlnga05.us.bb.gin.ntt.net")
+        assert hint is not None
+        assert hint.metro_code == "ATL"
+        assert hint.kind == "iata"
+
+    def test_plain_iata(self, parser):
+        hint = parser.parse("xe-0.aws.fra03.de.bb.carrier.net")
+        assert hint.metro_code == "FRA"
+
+    def test_city_name(self, parser):
+        hint = parser.parse("po-1.amazon.singapore3.sg.bb.telco.net")
+        assert hint.metro_code == "SIN"
+        assert hint.kind == "city"
+
+    def test_no_hint_in_flat_corporate_name(self, parser):
+        assert parser.parse("edge3.bigcorp.com") is None
+
+    def test_none_and_empty(self, parser):
+        assert parser.parse(None) is None
+        assert parser.parse("") is None
+
+    def test_stopwords_not_matched(self, parser):
+        # 'bb', 'core', 'net' must never resolve to metros.
+        assert parser.parse("core1.bb.example.net") is None
+
+    def test_domain_labels_ignored(self, parser):
+        # 'nrt' inside the operator domain must not count.
+        assert parser.parse("edge1.nrt-networks.com") is None
+
+    def test_address_literal_name(self, parser):
+        assert parser.parse("ip-52-1-2-3.carrier.net") is None
+
+
+class TestGeneratorRoundTrip:
+    """The parser must recover the metros the name generator embeds."""
+
+    def test_transit_names_parse_back(self, parser):
+        rng = random.Random(42)
+        hits = total = 0
+        for code in DEFAULT_CATALOG.codes():
+            metro = DEFAULT_CATALOG.get(code)
+            for i in range(3):
+                name = transit_interface_name(f"carrier-{i}", metro, rng)
+                hint = parser.parse(name)
+                total += 1
+                if hint is not None and hint.metro_code == code:
+                    hits += 1
+        # City-name tokens occasionally collide; demand a high hit rate.
+        assert hits / total > 0.9
+
+    def test_enterprise_names_have_no_hints(self, parser):
+        rng = random.Random(43)
+        for i in range(20):
+            name = enterprise_interface_name(f"corp-{i}", rng)
+            assert parser.parse(name) is None
+
+    def test_generic_names_have_no_hints(self, parser):
+        rng = random.Random(44)
+        for i in range(20):
+            name = generic_interface_name(f"net-{i}", 0x34010203 + i, rng)
+            hint = parser.parse(name)
+            assert hint is None
+
+    def test_vpi_names_usually_carry_evidence(self):
+        # A minority of VPI names fall back to a bare 'vifNNN' label with
+        # neither a vlan tag nor a dx keyword (as in the wild).
+        rng = random.Random(45)
+        evidence = sum(
+            vpi_evidence(vpi_interface_name(f"ent-{i}", rng)) for i in range(50)
+        )
+        assert evidence >= 40
+
+    def test_synthesize_respects_coverage(self, tiny_world):
+        rng = random.Random(46)
+        metro = DEFAULT_CATALOG.get("IAD")
+        names = [
+            synthesize_cbi_name(
+                kind="enterprise",
+                as_name="corp",
+                metro=metro,
+                ip=0x34010203,
+                rng=rng,
+                is_vpi=False,
+            )
+            for _ in range(300)
+        ]
+        got = [n for n in names if n is not None]
+        # Enterprise coverage is 25%.
+        assert 0.1 < len(got) / len(names) < 0.45
+
+
+class TestVPIKeywords:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "vlan1203.dxvif-8abc.corp.net",
+            "dxcon-ff00.carrier.net",
+            "awsdx-1a2b.enterprise.net",
+            "port1.aws-dx.colo.net",
+        ],
+    )
+    def test_positive(self, name):
+        assert vpi_evidence(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "edge1.corp.com",
+            "ae-4.amazon.atlnga05.us.bb.gin.ntt.net",
+            "advlans.example.com",   # 'vlan' inside a word, no digits boundary
+        ],
+    )
+    def test_negative(self, name):
+        assert not has_vpi_keywords(name)
+
+    def test_vlan_tag_detection(self):
+        assert has_vlan_tag("vlan100.x.net")
+        assert not has_vlan_tag("lan100.x.net")
+        assert not has_vlan_tag(None)
+
+    def test_keywords_none(self):
+        assert not has_vpi_keywords(None)

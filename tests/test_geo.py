@@ -1,0 +1,129 @@
+"""Tests for the metro catalog and RTT model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.geo import (
+    DEFAULT_CATALOG,
+    FIBER_KM_PER_MS_ONE_WAY,
+    Metro,
+    MetroCatalog,
+    ROUTE_INFLATION,
+    haversine_km,
+    metro_distance_km,
+    propagation_rtt_ms,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(40.0, -75.0, 40.0, -75.0) == 0.0
+
+    def test_known_distance_nyc_la(self):
+        # JFK to LAX great-circle is ~3,980 km.
+        d = haversine_km(40.71, -74.01, 34.05, -118.24)
+        assert 3800 < d < 4100
+
+    def test_symmetric(self):
+        a = haversine_km(10, 20, -30, 140)
+        b = haversine_km(-30, 140, 10, 20)
+        assert math.isclose(a, b)
+
+    @given(
+        st.floats(min_value=-89, max_value=89),
+        st.floats(min_value=-179, max_value=179),
+        st.floats(min_value=-89, max_value=89),
+        st.floats(min_value=-179, max_value=179),
+    )
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0 <= d <= 20_100  # half the equator, circa
+
+
+class TestMetroDistance:
+    def test_same_metro_is_zero(self):
+        iad = DEFAULT_CATALOG.get("IAD")
+        assert metro_distance_km(iad, iad) == 0.0
+
+    def test_inflation_applied(self):
+        a, b = DEFAULT_CATALOG.get("IAD"), DEFAULT_CATALOG.get("SJC")
+        raw = haversine_km(a.lat, a.lon, b.lat, b.lon)
+        assert math.isclose(metro_distance_km(a, b), raw * ROUTE_INFLATION)
+
+    def test_propagation_rtt(self):
+        a, b = DEFAULT_CATALOG.get("IAD"), DEFAULT_CATALOG.get("LHR")
+        rtt = propagation_rtt_ms(a, b)
+        expected = 2 * metro_distance_km(a, b) / FIBER_KM_PER_MS_ONE_WAY
+        assert math.isclose(rtt, expected)
+        # Transatlantic RTT should be tens of ms.
+        assert 30 < rtt < 120
+
+    def test_nearby_metros_under_2ms(self):
+        # The pinning knee: interfaces in the same metro are < 2 ms away.
+        a = DEFAULT_CATALOG.get("IAD")
+        assert propagation_rtt_ms(a, a) < 2.0
+
+
+class TestCatalog:
+    def test_contains_aws_region_metros(self):
+        regions = DEFAULT_CATALOG.aws_region_metros()
+        assert len(regions) == 15
+        assert regions["us-east-1"].code == "IAD"
+        assert regions["ap-south-1"].code == "BOM"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_CATALOG.get("XXX")
+
+    def test_by_city(self):
+        assert DEFAULT_CATALOG.by_city("ashburn").code == "IAD"
+        assert DEFAULT_CATALOG.by_city("nowhere") is None
+
+    def test_codes_unique(self):
+        codes = DEFAULT_CATALOG.codes()
+        assert len(codes) == len(set(codes))
+        assert len(codes) >= 70
+
+    def test_duplicate_code_rejected(self):
+        rows = (
+            ("AAA", "A", "US", 0.0, 0.0, None),
+            ("AAA", "B", "US", 1.0, 1.0, None),
+        )
+        with pytest.raises(ValueError):
+            MetroCatalog(rows)
+
+    def test_nearest(self):
+        lax = DEFAULT_CATALOG.get("LAX")
+        nearest = DEFAULT_CATALOG.nearest(lax)
+        assert nearest.code != "LAX"
+        # Nearest to LA among the catalog should be on the US west coast.
+        assert nearest.code in {"SJC", "PHX", "LAS", "SLC", "PDX", "SEA"}
+
+    def test_nearest_with_candidates(self):
+        lax = DEFAULT_CATALOG.get("LAX")
+        candidates = [DEFAULT_CATALOG.get("LHR"), DEFAULT_CATALOG.get("SJC")]
+        assert DEFAULT_CATALOG.nearest(lax, candidates).code == "SJC"
+
+    def test_nearest_no_candidates_raises(self):
+        lax = DEFAULT_CATALOG.get("LAX")
+        with pytest.raises(ValueError):
+            DEFAULT_CATALOG.nearest(lax, [lax])
+
+    def test_distance_cache_consistent(self):
+        d1 = DEFAULT_CATALOG.distance_km("IAD", "SJC")
+        d2 = DEFAULT_CATALOG.distance_km("SJC", "IAD")
+        assert d1 == d2
+        direct = metro_distance_km(DEFAULT_CATALOG.get("IAD"), DEFAULT_CATALOG.get("SJC"))
+        assert math.isclose(d1, direct)
+
+    def test_rtt_ms_cached(self):
+        r = DEFAULT_CATALOG.rtt_ms("IAD", "IAD")
+        assert r == 0.0
+        assert DEFAULT_CATALOG.rtt_ms("IAD", "FRA") > 20
+
+    def test_non_region_metros(self):
+        non = DEFAULT_CATALOG.non_region_metros()
+        assert all(m.region_hint is None for m in non)
+        assert len(non) == len(DEFAULT_CATALOG) - 15

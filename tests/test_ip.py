@@ -1,0 +1,259 @@
+"""Unit and property tests for IPv4 primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import (
+    AddressError,
+    AddressPool,
+    InterconnectSubnet,
+    MAX_IPV4,
+    Prefix,
+    PrefixAllocator,
+    dot1_of_slash24,
+    format_ip,
+    is_private,
+    is_probe_excluded,
+    is_shared,
+    parse_ip,
+    slash24_of,
+)
+
+ips = st.integers(min_value=0, max_value=MAX_IPV4)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestParseFormat:
+    def test_parse_basic(self):
+        assert parse_ip("10.0.0.1") == (10 << 24) + 1
+
+    def test_parse_zero(self):
+        assert parse_ip("0.0.0.0") == 0
+
+    def test_parse_max(self):
+        assert parse_ip("255.255.255.255") == MAX_IPV4
+
+    def test_format_basic(self):
+        assert format_ip(parse_ip("192.168.4.77")) == "192.168.4.77"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", ""]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ip(MAX_IPV4 + 1)
+        with pytest.raises(AddressError):
+            format_ip(-1)
+
+    @given(ips)
+    def test_roundtrip(self, addr):
+        assert parse_ip(format_ip(addr)) == addr
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert p.length == 16
+        assert p.size == 65536
+
+    def test_canonicalizes_host_bits(self):
+        assert Prefix.parse("10.1.2.3/16") == Prefix.parse("10.1.0.0/16")
+
+    def test_of(self):
+        assert Prefix.of(parse_ip("10.1.2.3"), 24) == Prefix.parse("10.1.2.0/24")
+
+    def test_contains(self):
+        p = Prefix.parse("10.1.2.0/24")
+        assert parse_ip("10.1.2.255") in p
+        assert parse_ip("10.1.3.0") not in p
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/9")
+        b = Prefix.parse("10.64.0.0/10")
+        c = Prefix.parse("10.128.0.0/9")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_subnets(self):
+        subs = list(Prefix.parse("10.0.0.0/22").subnets(24))
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/24")
+        assert subs[-1] == Prefix.parse("10.0.3.0/24")
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+
+    def test_slash24s_of_longer_prefix(self):
+        subs = list(Prefix.parse("10.0.0.128/30").slash24s())
+        assert subs == [Prefix.parse("10.0.0.0/24")]
+
+    def test_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix(0, 33)
+
+    @given(ips, st.integers(min_value=0, max_value=32))
+    def test_of_always_contains(self, addr, length):
+        assert addr in Prefix.of(addr, length)
+
+    @given(ips, st.integers(min_value=8, max_value=30))
+    def test_subnet_union_is_parent(self, addr, length):
+        parent = Prefix.of(addr, length)
+        subs = list(parent.subnets(min(length + 2, 32)))
+        assert sum(s.size for s in subs) == parent.size
+        assert subs[0].first == parent.first
+        assert subs[-1].last == parent.last
+
+    @given(ips)
+    def test_slash24_of(self, addr):
+        p = slash24_of(addr)
+        assert p.length == 24
+        assert addr in p
+
+    def test_dot1(self):
+        assert dot1_of_slash24(Prefix.parse("8.8.8.0/24")) == parse_ip("8.8.8.1")
+
+    def test_dot1_rejects_non_slash24(self):
+        with pytest.raises(AddressError):
+            dot1_of_slash24(Prefix.parse("8.8.0.0/16"))
+
+
+class TestSpecialRanges:
+    def test_private(self):
+        assert is_private(parse_ip("10.1.2.3"))
+        assert is_private(parse_ip("172.16.0.1"))
+        assert is_private(parse_ip("192.168.100.1"))
+        assert not is_private(parse_ip("8.8.8.8"))
+
+    def test_shared(self):
+        assert is_shared(parse_ip("100.64.0.1"))
+        assert not is_shared(parse_ip("100.128.0.1"))
+
+    def test_probe_excluded(self):
+        assert is_probe_excluded(parse_ip("224.0.0.1"))
+        assert is_probe_excluded(parse_ip("240.0.0.1"))
+        assert is_probe_excluded(parse_ip("127.0.0.1"))
+        assert not is_probe_excluded(parse_ip("52.1.2.3"))
+
+
+class TestPrefixAllocator:
+    def test_sequential_disjoint(self):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/16"))
+        seen = []
+        for _ in range(16):
+            p = alloc.allocate(22)
+            for old in seen:
+                assert not p.overlaps(old)
+            seen.append(p)
+
+    def test_exhaustion(self):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/24"))
+        alloc.allocate(25)
+        alloc.allocate(25)
+        with pytest.raises(AddressError):
+            alloc.allocate(25)
+
+    def test_alignment(self):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/16"))
+        alloc.allocate(24)
+        p = alloc.allocate(20)
+        assert p.network % p.size == 0
+
+    def test_rejects_shorter_than_parent(self):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/16"))
+        with pytest.raises(AddressError):
+            alloc.allocate(8)
+
+    @given(st.lists(st.integers(min_value=20, max_value=28), max_size=20))
+    def test_never_overlapping(self, requests):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/12"))
+        allocated = []
+        for length in requests:
+            p = alloc.allocate(length)
+            for old in allocated:
+                assert not p.overlaps(old)
+            allocated.append(p)
+
+
+class TestAddressPool:
+    def test_skips_network_and_broadcast(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/30"))
+        assert pool.allocate() == parse_ip("10.0.0.1")
+        assert pool.allocate() == parse_ip("10.0.0.2")
+        with pytest.raises(AddressError):
+            pool.allocate()
+
+    def test_allocate_many_unique(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/24"))
+        addrs = pool.allocate_many(100)
+        assert len(set(addrs)) == 100
+
+    def test_remaining(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/24"))
+        before = pool.remaining
+        pool.allocate()
+        assert pool.remaining == before - 1
+
+
+class TestInterconnectSubnet:
+    def test_carve_slash30(self):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/24"))
+        sub = InterconnectSubnet.carve(alloc, "provider", 30)
+        assert sub.prefix.length == 30
+        assert sub.provider_side == sub.prefix.network + 1
+        assert sub.client_side == sub.prefix.network + 2
+
+    def test_carve_slash31(self):
+        alloc = PrefixAllocator(Prefix.parse("10.0.0.0/24"))
+        sub = InterconnectSubnet.carve(alloc, "client", 31)
+        assert sub.provider_side == sub.prefix.network
+        assert sub.client_side == sub.prefix.network + 1
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            InterconnectSubnet(
+                prefix=Prefix.parse("10.0.0.0/29"),
+                provider_side=parse_ip("10.0.0.1"),
+                client_side=parse_ip("10.0.0.2"),
+                provided_by="client",
+            )
+
+    def test_rejects_same_endpoints(self):
+        with pytest.raises(AddressError):
+            InterconnectSubnet(
+                prefix=Prefix.parse("10.0.0.0/30"),
+                provider_side=parse_ip("10.0.0.1"),
+                client_side=parse_ip("10.0.0.1"),
+                provided_by="client",
+            )
+
+    def test_rejects_outside_addresses(self):
+        with pytest.raises(AddressError):
+            InterconnectSubnet(
+                prefix=Prefix.parse("10.0.0.0/30"),
+                provider_side=parse_ip("10.0.0.1"),
+                client_side=parse_ip("10.0.1.2"),
+                provided_by="client",
+            )
+
+    def test_rejects_bad_provider(self):
+        with pytest.raises(AddressError):
+            InterconnectSubnet(
+                prefix=Prefix.parse("10.0.0.0/30"),
+                provider_side=parse_ip("10.0.0.1"),
+                client_side=parse_ip("10.0.0.2"),
+                provided_by="nobody",
+            )

@@ -1,0 +1,226 @@
+"""Forwarding-model tests: resolve_path across all destination classes."""
+
+import pytest
+
+from repro.net.ip import Prefix, parse_ip
+from repro.world.entities import PeeringType
+
+
+def _region(world, cloud="amazon"):
+    return world.region_names(cloud)[0]
+
+
+def _some_route(world):
+    for net, route in sorted(world.routes.items()):
+        if route.egress_by_region and route.dest_response_p > 0:
+            return route
+    raise AssertionError("no routed /24 found")
+
+
+class TestAmazonPaths:
+    def test_private_destination_never_exits(self, tiny_world):
+        plan = tiny_world.resolve_path("amazon", _region(tiny_world), parse_ip("10.9.9.9"))
+        assert not plan.exits_cloud
+        assert len(plan.hops) <= 1
+
+    def test_shared_space_never_exits(self, tiny_world):
+        plan = tiny_world.resolve_path("amazon", _region(tiny_world), parse_ip("100.64.0.9"))
+        assert not plan.exits_cloud
+
+    def test_own_cloud_space_never_exits(self, tiny_world):
+        vm_ip = next(iter(tiny_world.regions["amazon"].values())).vm_ip
+        plan = tiny_world.resolve_path("amazon", _region(tiny_world), vm_ip + 1)
+        assert not plan.exits_cloud
+
+    def test_dead_space_dies_inside(self, tiny_world):
+        plan = tiny_world.resolve_path("amazon", _region(tiny_world), parse_ip("11.1.2.3"))
+        assert not plan.exits_cloud
+        assert plan.icx_id is None
+
+    def test_routed_slash24_crosses_interconnection(self, tiny_world):
+        route = _some_route(tiny_world)
+        region = sorted(route.egress_by_region)[0]
+        plan = tiny_world.resolve_path("amazon", region, route.prefix.network + 1)
+        assert plan.exits_cloud
+        assert plan.icx_id == route.egress_by_region[region]
+        icx = tiny_world.interconnections[plan.icx_id]
+        assert any(h.ip == icx.cbi_ip for h in plan.hops)
+
+    def test_hot_potato_picks_serving_icx(self, tiny_world):
+        route = _some_route(tiny_world)
+        for region, icx_id in route.egress_by_region.items():
+            assert icx_id in route.serving_icx_ids
+
+    def test_interconnect_subnet_routes_via_owning_icx(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            if icx.subnet is None or icx.uses_private_addresses:
+                continue
+            # Probe a sibling address inside the subnet.
+            dst = icx.subnet.prefix.last
+            plan = w.resolve_path("amazon", _region(w), dst)
+            assert plan.exits_cloud
+            # Multi-region ports register the first icx only.
+            target = w.infra_subnets[("amazon", dst & 0xFFFFFF00)]
+            assert any(dst in pfx for pfx, _i in target)
+            break
+
+    def test_private_vpi_invisible(self, tiny_world):
+        w = tiny_world
+        private = [i for i in w.interconnections.values() if i.uses_private_addresses]
+        if not private:
+            pytest.skip("no private-address VPIs at this seed")
+        for icx in private:
+            for region in w.region_names("amazon"):
+                plan = w.resolve_path("amazon", region, icx.cbi_ip)
+                assert not any(h.ip == icx.cbi_ip for h in plan.hops)
+
+    def test_ecmp_is_deterministic_per_destination(self, tiny_world):
+        route = _some_route(tiny_world)
+        region = sorted(route.egress_by_region)[0]
+        dst = route.prefix.network + 1
+        a = tiny_world.resolve_path("amazon", region, dst)
+        b = tiny_world.resolve_path("amazon", region, dst)
+        assert [h.ip for h in a.hops] == [h.ip for h in b.hops]
+
+    def test_ecmp_spreads_across_destinations(self, tiny_world):
+        w = tiny_world
+        ecmp_icx = next(
+            (i for i in w.interconnections.values() if len(i.abi_ecmp) > 1), None
+        )
+        if ecmp_icx is None:
+            pytest.skip("no ECMP interconnection at this seed")
+        # Find a /24 served by this icx.
+        route = next(
+            (
+                r
+                for r in w.routes.values()
+                if ecmp_icx.icx_id in r.egress_by_region.values()
+            ),
+            None,
+        )
+        if route is None:
+            pytest.skip("ECMP icx serves no /24")
+        region = next(
+            reg for reg, i in route.egress_by_region.items() if i == ecmp_icx.icx_id
+        )
+        seen = set()
+        for offset in range(1, 200):
+            plan = w.resolve_path("amazon", region, route.prefix.network + offset)
+            for hop in plan.hops:
+                if hop.ip in ecmp_icx.abi_ecmp:
+                    seen.add(hop.ip)
+        assert len(seen) > 1
+
+    def test_remote_region_sees_backbone_or_ecmp_interface(self, tiny_world):
+        w = tiny_world
+        route = _some_route(tiny_world)
+        icx_by_region = route.egress_by_region
+        # Find a region whose egress icx sits at a different metro.
+        for region, icx_id in icx_by_region.items():
+            icx = w.interconnections[icx_id]
+            region_metro = w.regions["amazon"][region].metro_code
+            if icx.metro_code != region_metro:
+                plan = w.resolve_path("amazon", region, route.prefix.network + 1)
+                ips = [h.ip for h in plan.hops]
+                assert icx.cbi_ip in ips
+                return
+        pytest.skip("all egresses local for this route")
+
+    def test_announced_block_without_route_uses_default_egress(self, tiny_world):
+        w = tiny_world
+        # Find an announced client /24 that is NOT instantiated.
+        for alloc in w.plan.allocations_of("client"):
+            for p24 in alloc.prefix.slash24s():
+                if p24.network not in w.routes:
+                    plan = w.resolve_path("amazon", _region(w), p24.network + 1)
+                    assert not plan.dest_responds
+                    return
+        pytest.skip("every client /24 instantiated at this scale")
+
+
+class TestOtherCloudPaths:
+    def test_mirror_path_reaches_shared_port(self, tiny_world):
+        w = tiny_world
+        shared = [
+            i
+            for i in w.interconnections.values()
+            if len(i.vpi_clouds) > 1
+            and not i.uses_private_addresses
+            and w.interfaces[i.cbi_ip].shared_port_response
+        ]
+        if not shared:
+            pytest.skip("no shared multi-cloud ports at this seed")
+        icx = shared[0]
+        cloud = sorted(set(icx.vpi_clouds) - {"amazon"})[0]
+        region = w.region_names(cloud)[0]
+        plan = w.resolve_path(cloud, region, icx.subnet.prefix.last)
+        assert plan.exits_cloud
+        assert any(h.ip == icx.cbi_ip for h in plan.hops)
+
+    def test_transit_path_for_unrelated_client(self, tiny_world):
+        w = tiny_world
+        # A client with no microsoft presence must be reached via transit.
+        route = None
+        for r in w.routes.values():
+            if (
+                r.dest_response_p > 0
+                and ("microsoft", r.carrier_asn) not in w.client_other_egress
+            ):
+                route = r
+                break
+        assert route is not None
+        region = w.region_names("microsoft")[0]
+        plan = w.resolve_path("microsoft", region, route.prefix.network + 1)
+        assert plan.exits_cloud
+        amazon_cbis = w.true_cbis()
+        assert not any(h.ip in amazon_cbis for h in plan.hops)
+
+    def test_other_cloud_to_amazon_space_is_opaque(self, tiny_world):
+        w = tiny_world
+        vm_ip = next(iter(w.regions["amazon"].values())).vm_ip
+        region = w.region_names("google")[0]
+        plan = w.resolve_path("google", region, vm_ip + 3)
+        # At most a single border hop beyond google's own network.
+        amazon_cbis = w.true_cbis()
+        assert not any(h.ip in amazon_cbis for h in plan.hops)
+
+
+class TestRttModel:
+    def test_rtt_legs_local_interface_fast(self, tiny_world):
+        w = tiny_world
+        region_name, region = sorted(w.regions["amazon"].items())[0]
+        _rid, ip = region.internal_path[-1]
+        rtt = w.rtt_legs_ms("amazon", region_name, ip)
+        assert rtt is not None and rtt < 1.0
+
+    def test_rtt_legs_unknown_interface(self, tiny_world):
+        assert tiny_world.rtt_legs_ms("amazon", _region(tiny_world), 1) is None
+
+    def test_region_limit_blocks_other_regions(self, tiny_world):
+        w = tiny_world
+        if not w.ping_region_limit:
+            pytest.skip("no region-limited interfaces at this seed")
+        ip, allowed = next(iter(w.ping_region_limit.items()))
+        blocked = [r for r in w.region_names("amazon") if r not in allowed]
+        assert w.rtt_legs_ms("amazon", blocked[0], ip) is None
+
+    def test_remote_cbi_has_longer_rtt(self, tiny_world):
+        w = tiny_world
+        remote = [
+            i
+            for i in w.interconnections.values()
+            if i.remote
+            and not i.uses_private_addresses
+            and len(w.via_metros.get(i.cbi_ip, ())) == 2
+            and i.metro_code != i.client_metro_code
+        ]
+        if not remote:
+            pytest.skip("no remote peerings with two legs")
+        icx = remote[0]
+        region = _region(w)
+        cbi_rtt = w.rtt_legs_ms("amazon", region, icx.cbi_ip)
+        abi_rtt = w.rtt_legs_ms("amazon", region, icx.abi_ip)
+        if cbi_rtt is None or abi_rtt is None:
+            pytest.skip("interface not visible from first region")
+        assert cbi_rtt >= abi_rtt

@@ -1,0 +1,116 @@
+"""Cross-consistency checks between paper constants, the census, and the
+world generator -- guarding against drift between the three."""
+
+import pytest
+
+from repro.analysis import paper_values as paper
+from repro.world.profiles import (
+    ALL_GROUPS,
+    CENSUS_TOTAL,
+    HYBRID_CENSUS,
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+)
+
+
+class TestCensusVsTable5:
+    """Table 6's census must reproduce Table 5's AS percentages."""
+
+    def _census_share(self, group: str) -> float:
+        member = sum(c for p, c in HYBRID_CENSUS.items() if group in p)
+        return member / CENSUS_TOTAL
+
+    @pytest.mark.parametrize(
+        "group,expected",
+        [
+            (PB_NB, 0.71),
+            (PB_B, 0.05),
+            (PR_NB_V, 0.07),
+            (PR_NB_NV, 0.31),
+            (PR_B_NV, 0.03),
+            (PR_B_V, 0.02),
+        ],
+    )
+    def test_group_share_matches_table5(self, group, expected):
+        share = self._census_share(group)
+        assert share == pytest.approx(expected, abs=0.025)
+
+    def test_paper_table5_constants_match_census(self):
+        for group in ALL_GROUPS:
+            paper_share = paper.TABLE5[group][0]
+            assert self._census_share(group) == pytest.approx(
+                paper_share, abs=0.03
+            )
+
+    def test_hidden_share_matches_paper_constant(self):
+        hidden = sum(
+            c
+            for p, c in HYBRID_CENSUS.items()
+            if p & {PR_NB_V, PR_NB_NV, PR_B_V}
+        )
+        assert hidden / CENSUS_TOTAL == pytest.approx(
+            paper.HIDDEN_PEERING_FRACTION, abs=0.03
+        )
+
+
+class TestPaperConstantsInternalConsistency:
+    def test_table1_fractions_sum_to_one(self):
+        for label, (count, bgp, whois, ixp) in paper.TABLE1.items():
+            assert bgp + whois + ixp == pytest.approx(1.0, abs=0.01), label
+            assert count > 0
+
+    def test_table4_cumulative_monotone(self):
+        order = ["microsoft", "google", "ibm", "oracle"]
+        values = [paper.TABLE4_CUMULATIVE[c][0] for c in order]
+        assert values == sorted(values)
+
+    def test_table3_cumulative_monotone(self):
+        order = ["dns", "ixp", "metro", "native", "alias", "min-rtt"]
+        values = [paper.TABLE3_CUMULATIVE[k] for k in order]
+        assert values == sorted(values)
+        # Per-evidence counts can overlap, so their sum bounds the final
+        # cumulative value from above (the paper's dedup).
+        assert sum(paper.TABLE3_EXCLUSIVE.values()) >= paper.TABLE3_CUMULATIVE["min-rtt"]
+
+    def test_table2_cumulative_monotone(self):
+        order = ["ixp", "hybrid", "reachable"]
+        abis = [paper.TABLE2[k][2] for k in order]
+        cbis = [paper.TABLE2[k][3] for k in order]
+        assert abis == sorted(abis)
+        assert cbis == sorted(cbis)
+
+    def test_pinning_fractions(self):
+        assert paper.METRO_PIN_COVERAGE < paper.TOTAL_PIN_COVERAGE < 1.0
+        assert paper.PINNING_RECALL < paper.PINNING_PRECISION
+
+    def test_table6_top_counts_match_census(self):
+        for profile, count in paper.TABLE6_TOP:
+            assert HYBRID_CENSUS[profile] == count
+
+
+class TestWorldRecoversCensus:
+    """The sampled client population preserves the census mixture."""
+
+    def test_profile_distribution(self, small_world):
+        from collections import Counter
+
+        counts = Counter(c.profile for c in small_world.client_ases.values())
+        # Pb-nB-only must dominate, as in Table 6.
+        top_profile, _top_count = counts.most_common(1)[0]
+        assert top_profile == frozenset({PB_NB})
+
+    def test_group_membership_shares(self, small_world):
+        total = len(small_world.client_ases)
+        pb_nb = sum(
+            1 for c in small_world.client_ases.values() if PB_NB in c.profile
+        )
+        pr_nb_nv = sum(
+            1 for c in small_world.client_ases.values() if PR_NB_NV in c.profile
+        )
+        # Binomial noise at ~70 ASes is wide; check coarse brackets.
+        assert 0.5 < pb_nb / total < 0.9
+        assert 0.15 < pr_nb_nv / total < 0.55

@@ -1,0 +1,189 @@
+"""Tests for VPI detection (§7.1), grouping (§7.2), and the ICG (§7.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.graph import InterfaceConnectivityGraph, degree_cdf
+from repro.core.grouping import HIDDEN_GROUPS, classify_group
+from repro.world.profiles import (
+    ALL_GROUPS,
+    PB_B,
+    PB_NB,
+    PR_B_NV,
+    PR_B_V,
+    PR_NB_NV,
+    PR_NB_V,
+)
+
+
+class TestClassifyGroup:
+    @pytest.mark.parametrize(
+        "public,bgp,virtual,expected",
+        [
+            (True, False, False, PB_NB),
+            (True, True, False, PB_B),
+            (False, False, True, PR_NB_V),
+            (False, False, False, PR_NB_NV),
+            (False, True, False, PR_B_NV),
+            (False, True, True, PR_B_V),
+        ],
+    )
+    def test_mapping(self, public, bgp, virtual, expected):
+        assert classify_group(public, bgp, virtual) == expected
+
+    def test_exhaustive_over_attributes(self):
+        seen = {
+            classify_group(p, b, v)
+            for p in (True, False)
+            for b in (True, False)
+            for v in (True, False)
+        }
+        assert seen == set(ALL_GROUPS)
+
+    def test_hidden_groups_definition(self):
+        assert set(HIDDEN_GROUPS) == {PR_NB_V, PR_NB_NV, PR_B_V}
+
+
+class TestVPIOnStudy:
+    def test_vpi_cbis_subset_of_cbis(self, study_result):
+        assert study_result.vpi is not None
+        assert study_result.vpi.vpi_cbis <= study_result.cbis
+
+    def test_cumulative_monotone(self, study_result):
+        vpi = study_result.vpi
+        order = ["microsoft", "google", "ibm", "oracle"]
+        prev = set()
+        for cloud in order:
+            current = vpi.cumulative[cloud]
+            assert prev <= current
+            prev = current
+
+    def test_pairwise_subset_of_cumulative(self, study_result):
+        vpi = study_result.vpi
+        for cloud, pairwise in vpi.pairwise.items():
+            assert pairwise <= vpi.cumulative["oracle"]
+
+    def test_oracle_finds_nothing(self, study_result):
+        """The paper found zero Amazon/Oracle overlap; our world encodes
+        that no client multi-homes Oracle with Amazon on one port."""
+        assert len(study_result.vpi.pairwise["oracle"]) == 0
+
+    def test_detected_vpis_truly_multi_cloud(self, study, study_result):
+        runner, result = study
+        world = runner.world
+        true_multi = {
+            icx.cbi_ip
+            for icx in world.interconnections.values()
+            if len(icx.vpi_clouds) > 1
+        }
+        false_positives = result.vpi.vpi_cbis - true_multi
+        # §7.1 argues false VPIs are very unlikely; allow a whisker.
+        assert len(false_positives) <= max(2, len(result.vpi.vpi_cbis) * 0.05)
+
+    def test_pool_composition(self, study_result):
+        assert study_result.vpi.pool_size > 0
+
+
+class TestGroupingOnStudy:
+    def test_groups_partition_segments(self, study_result):
+        grouping = study_result.grouping
+        # Every record's interfaces appear in exactly that record's group
+        # for that AS -- and each (AS, group) key is unique by dict nature.
+        for (asn, group), record in grouping.records.items():
+            assert record.peer_asn == asn
+            assert record.group == group
+            assert record.cbis
+            assert record.abis
+
+    def test_profiles_match_records(self, study_result):
+        grouping = study_result.grouping
+        for (asn, group) in grouping.records:
+            assert group in grouping.profiles[asn]
+
+    def test_hidden_fraction_bounds(self, study_result):
+        frac = study_result.grouping.hidden_fraction()
+        assert 0.0 <= frac <= 1.0
+
+    def test_virtual_groups_require_vpi_evidence(self, study_result):
+        grouping = study_result.grouping
+        vpis = study_result.vpi.vpi_cbis
+        for (asn, group), record in grouping.records.items():
+            if group in (PR_NB_V, PR_B_V):
+                assert record.cbis & vpis
+
+    def test_public_groups_are_ixp_addresses(self, study, study_result):
+        runner, result = study
+        for (asn, group), record in result.grouping.records.items():
+            if group in (PB_NB, PB_B):
+                for cbi in record.cbis:
+                    assert runner.annotator_r2.annotate(cbi).is_ixp
+
+    def test_bgp_recovery(self, study_result):
+        assert 0.5 <= study_result.bgp_recovery_fraction <= 1.0
+
+    def test_group_features_shape(self, study):
+        runner, result = study
+        features = result.grouping.group_features(runner.relationships)
+        assert set(features) == set(ALL_GROUPS)
+        for group, buckets in features.items():
+            assert set(buckets) == {
+                "bgp_slash24",
+                "reachable_slash24",
+                "abis",
+                "cbis",
+                "rtt_diff",
+                "metros",
+            }
+
+
+class TestICG:
+    def test_bipartite_on_study(self, study_result):
+        icg = InterfaceConnectivityGraph(study_result.final_segments)
+        # ABI and CBI node sets are disjoint in a clean graph; tolerate
+        # tiny overlap caused by third-party artifacts.
+        overlap = icg.abis & icg.cbis
+        assert len(overlap) <= max(2, icg.summarize().node_count * 0.02)
+
+    def test_components_cover_all_nodes(self, study_result):
+        icg = InterfaceConnectivityGraph(study_result.final_segments)
+        components = icg.components()
+        covered = set()
+        for comp in components:
+            assert not (comp & covered)
+            covered |= comp
+        assert covered == icg.abis | icg.cbis
+
+    def test_summary_counts(self, study_result):
+        summary = study_result.icg
+        assert summary.node_count == len(
+            {ip for seg in study_result.final_segments for ip in seg}
+        )
+        assert summary.edge_count == len(study_result.final_segments)
+        assert 0 < summary.largest_component_fraction <= 1
+
+    def test_degrees_sum_to_edges(self, study_result):
+        summary = study_result.icg
+        assert sum(summary.abi_degrees) == summary.edge_count
+        assert sum(summary.cbi_degrees) == summary.edge_count
+
+    def test_simple_graph_components(self):
+        icg = InterfaceConnectivityGraph([(1, 10), (1, 11), (2, 20)])
+        comps = icg.components()
+        assert len(comps) == 2
+        assert comps[0] == {1, 10, 11}
+
+    def test_degree_lookup(self):
+        icg = InterfaceConnectivityGraph([(1, 10), (1, 11)])
+        assert icg.abi_degree(1) == 2
+        assert icg.cbi_degree(10) == 1
+        assert icg.abi_degree(99) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=60))
+    def test_degree_cdf_monotone(self, degrees):
+        points = degree_cdf(degrees)
+        fracs = [f for _d, f in points]
+        assert fracs == sorted(fracs)
+        if points:
+            assert points[-1][1] == pytest.approx(1.0)
+            values = [d for d, _f in points]
+            assert values == sorted(set(values))

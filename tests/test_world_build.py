@@ -1,0 +1,196 @@
+"""Invariant and determinism tests for the world builder."""
+
+import pytest
+
+from repro.net.asn import AMAZON_ASNS, AMAZON_PRIMARY_ASN
+from repro.net.ip import is_private
+from repro.world.build import WorldConfig, build_world
+from repro.world.entities import PeeringType, RouterRole
+from repro.world.profiles import ALL_GROUPS
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(WorldConfig(scale=0.01, seed=5))
+        b = build_world(WorldConfig(scale=0.01, seed=5))
+        assert len(a.interconnections) == len(b.interconnections)
+        assert sorted(a.interfaces) == sorted(b.interfaces)
+        assert {i.cbi_ip for i in a.interconnections.values()} == {
+            i.cbi_ip for i in b.interconnections.values()
+        }
+
+    def test_different_seed_differs(self):
+        a = build_world(WorldConfig(scale=0.01, seed=5))
+        b = build_world(WorldConfig(scale=0.01, seed=6))
+        assert {i.cbi_ip for i in a.interconnections.values()} != {
+            i.cbi_ip for i in b.interconnections.values()
+        }
+
+    def test_scale_controls_population(self):
+        small = build_world(WorldConfig(scale=0.01, seed=5))
+        larger = build_world(WorldConfig(scale=0.03, seed=5))
+        assert len(larger.client_ases) > 2 * len(small.client_ases)
+        assert len(larger.interconnections) > len(small.interconnections)
+
+
+class TestStructuralInvariants:
+    def test_interconnection_endpoints_exist(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            assert icx.abi_router_id in w.routers
+            assert icx.cbi_router_id in w.routers
+            assert icx.abi_ip in w.interfaces
+            assert icx.cbi_ip in w.interfaces
+
+    def test_abi_on_amazon_router(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            router = w.routers[icx.abi_router_id]
+            assert router.owner_asn == AMAZON_PRIMARY_ASN
+
+    def test_cbi_on_client_router(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            router = w.routers[icx.cbi_router_id]
+            assert router.owner_asn == icx.peer_asn
+
+    def test_interfaces_belong_to_their_router(self, tiny_world):
+        w = tiny_world
+        for ip, iface in w.interfaces.items():
+            assert ip in w.routers[iface.router_id].interface_ips
+
+    def test_ecmp_contains_primary(self, tiny_world):
+        for icx in tiny_world.interconnections.values():
+            if icx.abi_ecmp:
+                assert icx.abi_ip in icx.abi_ecmp
+
+    def test_regions_present(self, tiny_world):
+        assert len(tiny_world.regions["amazon"]) == 15
+        for cloud in ("microsoft", "google", "ibm", "oracle"):
+            assert cloud in tiny_world.regions
+            assert tiny_world.regions[cloud]
+
+    def test_region_vms_have_internal_paths(self, tiny_world):
+        for region in tiny_world.regions["amazon"].values():
+            assert len(region.internal_path) >= 2
+            first_ip = region.internal_path[0][1]
+            assert is_private(first_ip)
+
+    def test_peering_types_cover_profile_groups(self, tiny_world):
+        w = tiny_world
+        types = {icx.ptype for icx in w.interconnections.values()}
+        assert PeeringType.PUBLIC_IXP in types
+        assert PeeringType.PRIVATE_PHYSICAL in types
+        assert PeeringType.PRIVATE_VIRTUAL in types
+
+    def test_public_icx_cbi_inside_ixp_prefix(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            if icx.ptype == PeeringType.PUBLIC_IXP:
+                ixp = w.ixps[icx.ixp_id]
+                assert icx.cbi_ip in ixp.prefix
+
+    def test_private_icx_have_subnets(self, tiny_world):
+        for icx in tiny_world.interconnections.values():
+            if icx.ptype != PeeringType.PUBLIC_IXP and not icx.uses_private_addresses:
+                assert icx.subnet is not None
+                assert icx.cbi_ip == icx.subnet.client_side
+
+    def test_client_profiles_from_census(self, tiny_world):
+        for client in tiny_world.client_ases.values():
+            assert client.profile
+            assert client.profile <= set(ALL_GROUPS)
+
+    def test_client_icx_groups_match_profile(self, tiny_world):
+        w = tiny_world
+        for client in w.client_ases.values():
+            assert client.icx_ids, f"client {client.asn} has no interconnections"
+
+    def test_routes_reference_valid_carriers(self, tiny_world):
+        w = tiny_world
+        for route in w.routes.values():
+            assert route.carrier_asn in w.asn_carrier.values() or route.carrier_asn in w.client_ases
+
+    def test_sweep_has_no_duplicates(self, tiny_world):
+        nets = [p.network for p in tiny_world.sweep_slash24s]
+        assert len(nets) == len(set(nets))
+
+    def test_via_metros_for_border_interfaces(self, tiny_world):
+        w = tiny_world
+        fabric_metros_of_cbi = {}
+        for icx in w.interconnections.values():
+            fabric_metros_of_cbi.setdefault(icx.cbi_ip, set()).add(icx.metro_code)
+        for icx in w.interconnections.values():
+            if icx.uses_private_addresses:
+                continue
+            assert icx.cbi_ip in w.via_metros
+            legs = w.via_metros[icx.cbi_ip]
+            # Multi-region ports keep the legs of their first provisioning.
+            assert legs[0] in fabric_metros_of_cbi[icx.cbi_ip]
+
+    def test_remote_icx_has_two_legs(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            if icx.remote and not icx.uses_private_addresses:
+                legs = w.via_metros[icx.cbi_ip]
+                if len(legs) == 2:
+                    assert legs == (icx.metro_code, icx.client_metro_code)
+
+    def test_vpi_mirrors_exist_for_multicloud_ports(self, tiny_world):
+        w = tiny_world
+        for icx in w.interconnections.values():
+            others = set(icx.vpi_clouds) - {"amazon"}
+            if not others or icx.uses_private_addresses:
+                continue
+            for cloud in others:
+                assert (cloud, icx.icx_id) in w.mirror_of
+
+    def test_mirror_shares_ip_only_when_port_shared(self, tiny_world):
+        w = tiny_world
+        for (cloud, icx_id), mirror_id in w.mirror_of.items():
+            icx = w.interconnections[icx_id]
+            mirror = w.other_cloud_icx[cloud][mirror_id]
+            shared = w.interfaces[icx.cbi_ip].shared_port_response
+            if shared:
+                assert mirror.cbi_ip == icx.cbi_ip
+            else:
+                assert mirror.cbi_ip != icx.cbi_ip
+
+    def test_backbone_interfaces_on_border_routers(self, tiny_world):
+        w = tiny_world
+        for rid, bb_ip in w.router_backbone_iface.items():
+            assert w.interfaces[bb_ip].router_id == rid
+
+    def test_client_router_first_interface_is_loopback(self, tiny_world):
+        """Third-party responders must expose a client-owned default
+        address, never a cloud-side port (§7.1 soundness)."""
+        w = tiny_world
+        cbis = w.true_cbis()
+        for router in w.routers.values():
+            if router.role != RouterRole.CLIENT_BORDER or not router.interface_ips:
+                continue
+            first = router.interface_ips[0]
+            if is_private(first):
+                continue  # private-address VPI routers
+            assert first not in cbis or w.interfaces[first].addr_owner_asn not in AMAZON_ASNS
+
+    def test_facility_tenants_within_footprints(self, tiny_world):
+        w = tiny_world
+        for fac in w.facilities.values():
+            for asn in fac.tenant_asns:
+                client = w.client_ases[asn]
+                assert fac.metro_code in client.footprint_metros
+
+    def test_ixp_members_recorded(self, tiny_world):
+        w = tiny_world
+        member_total = sum(len(ips) for ixp in w.ixps.values() for ips in ixp.member_ips.values())
+        public = [
+            i for i in w.interconnections.values() if i.ptype == PeeringType.PUBLIC_IXP
+        ]
+        assert member_total >= len(public)
+
+    def test_private_vpi_cbis_are_private_addresses(self, tiny_world):
+        for icx in tiny_world.interconnections.values():
+            if icx.uses_private_addresses:
+                assert is_private(icx.cbi_ip)
+                assert icx.ptype == PeeringType.PRIVATE_VIRTUAL
