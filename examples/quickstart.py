@@ -6,18 +6,25 @@ stage of the methodology -- sweep, expansion, verification, pinning,
 VPI detection, grouping, graph analysis -- and prints the side-by-side
 paper-vs-measured report.
 
-Run:  python examples/quickstart.py [scale] [seed]
+Run:  python examples/quickstart.py [scale] [seed] [workers]
 """
 
 import sys
 import time
 
-from repro import AmazonPeeringStudy, WorldConfig, build_world, render_report
+from repro import (
+    AmazonPeeringStudy,
+    StudyConfig,
+    WorldConfig,
+    build_world,
+    render_report,
+)
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 1
 
     t0 = time.time()
     world = build_world(WorldConfig(scale=scale, seed=seed))
@@ -28,7 +35,10 @@ def main() -> None:
         f"({time.time() - t0:.1f}s)\n"
     )
 
-    study = AmazonPeeringStudy(world, seed=seed, expansion_stride=4)
+    config = StudyConfig(
+        scale=scale, seed=seed, expansion_stride=4, workers=workers
+    )
+    study = AmazonPeeringStudy(world, config)
     result = study.run()
     print(render_report(result, study.relationships))
 

@@ -18,23 +18,27 @@ The package has four layers:
 
 Quickstart::
 
-    from repro import WorldConfig, build_world, AmazonPeeringStudy, render_report
+    from repro import (
+        StudyConfig, WorldConfig, build_world, AmazonPeeringStudy, render_report,
+    )
 
     world = build_world(WorldConfig(scale=0.05, seed=7))
-    result = AmazonPeeringStudy(world, seed=7).run()
+    result = AmazonPeeringStudy(world, StudyConfig(seed=7, workers=4)).run()
     print(render_report(result))
 """
 
 from repro.analysis.report import render_report
+from repro.core.config import StudyConfig
 from repro.core.pipeline import AmazonPeeringStudy
 from repro.core.results import StudyResult
 from repro.world.build import WorldConfig, build_world
 from repro.world.model import World
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AmazonPeeringStudy",
+    "StudyConfig",
     "StudyResult",
     "World",
     "WorldConfig",

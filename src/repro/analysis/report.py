@@ -200,4 +200,13 @@ def render_report(
 
     add("")
     add("timings: " + ", ".join(f"{k}={v:.1f}s" for k, v in result.runtime_seconds.items()))
+    if result.metrics and result.metrics.campaigns:
+        add("campaign throughput:")
+        for progress in result.metrics.campaigns.values():
+            add("  " + progress.summary())
+    if result.config is not None:
+        add(
+            "config: "
+            + ", ".join(f"{k}={v}" for k, v in result.config.as_dict().items())
+        )
     return "\n".join(lines)

@@ -14,8 +14,10 @@ import time
 from typing import List, Optional
 
 from repro.analysis.report import render_report
+from repro.core.config import StudyConfig
 from repro.core.evaluation import evaluate_study
 from repro.core.pipeline import AmazonPeeringStudy
+from repro.measure.metrics import CampaignProgress, ShardTiming
 from repro.world.build import WorldConfig, build_world
 
 
@@ -36,6 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-vpi", action="store_true",
                         help="skip the multi-cloud VPI detection round")
     parser.add_argument("--skip-crossval", action="store_true")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="probing worker processes; results are identical "
+                             "for any value (default 1 = serial)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print live campaign progress to stderr")
     parser.add_argument("--with-bdrmap", action="store_true",
                         help="also run the bdrmap baseline comparison (section 8)")
     parser.add_argument("--with-evaluation", action="store_true",
@@ -43,8 +50,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress_printer(min_interval: float = 0.5):
+    """A throttled stderr reporter for ``--progress``."""
+    last_print = [0.0]
+
+    def report(progress: CampaignProgress, _timing: ShardTiming) -> None:
+        now = time.time()
+        done = progress.probes >= progress.expected_probes
+        if not done and now - last_print[0] < min_interval:
+            return
+        last_print[0] = now
+        print(
+            f"  {progress.label}: {progress.probes}/{progress.expected_probes} "
+            f"probes ({progress.done_fraction * 100:.0f}%), "
+            f"{progress.probes_per_second:.0f}/s, "
+            f"{progress.workers} worker(s)",
+            file=sys.stderr,
+        )
+
+    return report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = StudyConfig(
+            scale=args.scale,
+            seed=args.seed,
+            expansion_stride=args.expansion_stride,
+            crossval_folds=args.crossval_folds,
+            run_vpi=not args.skip_vpi,
+            run_crossval=not args.skip_crossval,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     t0 = time.time()
     print(f"building world (scale={args.scale}, seed={args.seed})...", file=sys.stderr)
     world = build_world(WorldConfig(scale=args.scale, seed=args.seed))
@@ -58,11 +99,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     study = AmazonPeeringStudy(
         world,
-        seed=args.seed,
-        expansion_stride=args.expansion_stride,
-        crossval_folds=args.crossval_folds,
-        run_vpi=not args.skip_vpi,
-        run_crossval=not args.skip_crossval,
+        config,
+        progress=_progress_printer() if args.progress else None,
     )
     print("running the measurement study...", file=sys.stderr)
     result = study.run()

@@ -97,6 +97,14 @@ class BorderObservatory:
 
     # ------------------------------------------------------------------
 
+    def consume(self, trace: Traceroute) -> None:
+        """:class:`~repro.measure.sink.ProbeSink` conformance.
+
+        Campaign executors feed sinks; :meth:`ingest` (unchanged) remains
+        the primary API and still returns the candidate segment.
+        """
+        self.ingest(trace)
+
     def ingest(self, trace: Traceroute) -> Optional[Tuple[IPv4, IPv4]]:
         """Process one traceroute; returns the candidate segment, if any."""
         self.stats.ingested += 1

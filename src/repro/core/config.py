@@ -1,0 +1,52 @@
+"""Frozen study configuration.
+
+:class:`StudyConfig` replaces the loose keyword arguments
+``AmazonPeeringStudy`` used to take.  It is immutable (safe to share with
+worker processes and to record on the ``StudyResult`` for provenance) and
+carries every knob the end-to-end run honours.  The old kwargs still work
+through a deprecation shim on ``AmazonPeeringStudy``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Every knob of the end-to-end study, in one immutable record.
+
+    ``scale`` is informational provenance: the world is built separately,
+    so ``None`` means "whatever the world was built with".
+    """
+
+    scale: Optional[float] = None
+    seed: int = 0
+    expansion_stride: int = 1
+    crossval_folds: int = 10
+    run_vpi: bool = True
+    run_crossval: bool = True
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.expansion_stride < 1:
+            raise ValueError(
+                f"expansion_stride must be >= 1, got {self.expansion_stride}"
+            )
+        if self.crossval_folds < 2:
+            raise ValueError(
+                f"crossval_folds must be >= 2, got {self.crossval_folds}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "StudyConfig":
+        """A copy with ``changes`` applied (frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)

@@ -1,16 +1,23 @@
 """End-to-end study driver: §3 through §7 in one call.
 
-``AmazonPeeringStudy(world).run()`` executes the full methodology --
-sweep, expansion, heuristics, alias verification, pinning,
-cross-validation, VPI detection, grouping, and graph characterisation --
-and returns a :class:`StudyResult` from which every table and figure of
-the paper can be regenerated.
+``AmazonPeeringStudy(world, config=StudyConfig(...)).run()`` executes the
+full methodology -- sweep, expansion, heuristics, alias verification,
+pinning, cross-validation, VPI detection, grouping, and graph
+characterisation -- and returns a :class:`StudyResult` from which every
+table and figure of the paper can be regenerated.
+
+Configuration lives in one frozen :class:`StudyConfig`; the historical
+loose keyword arguments still work through a deprecation shim.  With
+``StudyConfig(workers=N)`` the probing campaigns run on a sharded
+``multiprocessing`` pool and -- because traces are a pure function of
+``(seed, cloud, region, dst)`` and shards merge in serial order -- the
+``StudyResult`` is identical for any worker count.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, List, Set, Tuple
+import warnings
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.net.asn import AMAZON_ASNS, CLOUD_ORG_IDS
 from repro.net.ip import IPv4
@@ -18,6 +25,7 @@ from repro.core.aliasverify import AliasVerifier
 from repro.core.anchors import AnchorBuilder
 from repro.core.annotate import AnnotationSource, HopAnnotator
 from repro.core.borders import BorderObservatory
+from repro.core.config import StudyConfig
 from repro.core.crossval import cross_validate_pinning
 from repro.core.dnsgeo import DNSGeoParser
 from repro.core.graph import InterfaceConnectivityGraph
@@ -37,10 +45,21 @@ from repro.datasets.whois import WhoisRegistry
 from repro.measure.alias import AliasResolver
 from repro.measure.campaign import ProbeCampaign
 from repro.measure.dnslookup import ReverseDNS
+from repro.measure.metrics import ProgressCallback, StudyMetrics
 from repro.measure.ping import Pinger
 from repro.measure.reachability import PublicVantagePoint
 from repro.measure.traceroute import TracerouteEngine
 from repro.world.model import World
+
+#: Legacy ``AmazonPeeringStudy`` kwargs that map 1:1 onto ``StudyConfig``.
+_LEGACY_CONFIG_KWARGS = (
+    "seed",
+    "expansion_stride",
+    "crossval_folds",
+    "run_vpi",
+    "run_crossval",
+    "workers",
+)
 
 
 class AmazonPeeringStudy:
@@ -49,18 +68,27 @@ class AmazonPeeringStudy:
     def __init__(
         self,
         world: World,
-        seed: int = 0,
-        expansion_stride: int = 1,
-        crossval_folds: int = 10,
-        run_vpi: bool = True,
-        run_crossval: bool = True,
+        config: Optional[StudyConfig] = None,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        **legacy: object,
     ) -> None:
+        if isinstance(config, int):
+            # Oldest call style: the second positional argument was `seed`.
+            legacy.setdefault("seed", config)
+            config = None
+        config = _coerce_config(config, legacy)
+
         self.world = world
-        self.seed = seed
-        self.expansion_stride = expansion_stride
-        self.crossval_folds = crossval_folds
-        self.run_vpi = run_vpi
-        self.run_crossval = run_crossval
+        self.config = config
+        self.progress_callback = progress
+        # Convenience attributes, kept for existing call sites.
+        self.seed = config.seed
+        self.expansion_stride = config.expansion_stride
+        self.crossval_folds = config.crossval_folds
+        self.run_vpi = config.run_vpi
+        self.run_crossval = config.run_crossval
+        seed = config.seed
 
         # Public datasets.
         self.whois = WhoisRegistry(world, seed=seed)
@@ -97,14 +125,26 @@ class AmazonPeeringStudy:
     # ------------------------------------------------------------------
 
     def run(self) -> StudyResult:
-        result = StudyResult(seed=self.seed, scale=self.world.config.scale)
-        timers = result.runtime_seconds
+        config = self.config
+        metrics = StudyMetrics()
+        result = StudyResult(
+            seed=self.seed,
+            scale=self.world.config.scale,
+            config=config,
+            metrics=metrics,
+        )
+        # The legacy timers dict now aliases the metrics stage table.
+        result.runtime_seconds = metrics.stages
+
+        def campaign_progress(label: str):
+            return metrics.campaign(label, callback=self.progress_callback)
 
         # §3-§4.1: round-1 sweep.
-        t0 = time.time()
-        campaign = ProbeCampaign(self.world, self.engine)
-        result.round1_stats = campaign.run_round1(self.observatory.ingest)
-        timers["round1"] = time.time() - t0
+        campaign = ProbeCampaign(self.world, self.engine, workers=config.workers)
+        with metrics.stage("round1"):
+            result.round1_stats = campaign.run_round1(
+                self.observatory, progress=campaign_progress("round1")
+            )
 
         r1_abis = self.observatory.candidate_abis()
         r1_cbis = self.observatory.candidate_cbis()
@@ -113,12 +153,14 @@ class AmazonPeeringStudy:
         result.peer_ases_round1 = len(self._peer_ases(r1_cbis, self.annotator_r1))
 
         # §4.2: expansion probing under the round-2 snapshot.
-        t0 = time.time()
-        self.observatory.start_round("r2", self.annotator_r2)
-        result.round2_stats = campaign.run_expansion(
-            r1_cbis, self.observatory.ingest, stride=self.expansion_stride
-        )
-        timers["round2"] = time.time() - t0
+        with metrics.stage("round2"):
+            self.observatory.start_round("r2", self.annotator_r2)
+            result.round2_stats = campaign.run_expansion(
+                r1_cbis,
+                self.observatory,
+                stride=self.expansion_stride,
+                progress=campaign_progress("round2"),
+            )
 
         e_abis = self.observatory.candidate_abis()
         e_cbis = self.observatory.candidate_cbis()
@@ -127,116 +169,119 @@ class AmazonPeeringStudy:
         result.peer_ases_round2 = len(self._peer_ases(e_cbis, self.annotator_r2))
 
         # §5.1: heuristics.
-        t0 = time.time()
-        verifier = SegmentVerifier(self.observatory, self.public_vp)
-        result.heuristics = verifier.verify()
-        timers["heuristics"] = time.time() - t0
+        with metrics.stage("heuristics"):
+            verifier = SegmentVerifier(self.observatory, self.public_vp)
+            result.heuristics = verifier.verify()
 
         # §5.2: alias resolution and ownership verification.
-        t0 = time.time()
-        candidates = sorted(e_abis | e_cbis)
-        result.alias_sets = self.alias_resolver.resolve(candidates)
-        alias_verifier = AliasVerifier(self.observatory, set(AMAZON_ASNS))
-        result.verification = alias_verifier.verify(result.alias_sets)
-        result.final_segments = result.verification.final_segments
-        result.abis = result.verification.abis
-        result.cbis = result.verification.cbis
-        timers["alias"] = time.time() - t0
+        with metrics.stage("alias"):
+            candidates = sorted(e_abis | e_cbis)
+            result.alias_sets = self.alias_resolver.resolve(candidates)
+            alias_verifier = AliasVerifier(self.observatory, set(AMAZON_ASNS))
+            result.verification = alias_verifier.verify(result.alias_sets)
+            result.final_segments = result.verification.final_segments
+            result.abis = result.verification.abis
+            result.cbis = result.verification.cbis
 
         # §6: RTT data, anchors, iterative pinning, regional fallback.
-        t0 = time.time()
-        result.abi_min_rtts = self._abi_min_rtts(result.abis)
-        result.segment_rtt_diff = self._segment_rtt_diffs(result.final_segments)
-        parser = DNSGeoParser(self.world.catalog)
-        anchor_builder = AnchorBuilder(
-            observatory=self.observatory,
-            abis=result.abis,
-            cbis=result.cbis,
-            pinger=self.pinger,
-            rdns=self.rdns,
-            parser=parser,
-            ixps=self.ixps,
-            peeringdb=self.peeringdb,
-            catalog=self.world.catalog,
-            region_metro=self.region_metro,
-        )
-        result.anchors = anchor_builder.build(result.alias_sets)
-        pinner = IterativePinner(
-            result.anchors.anchors,
-            result.alias_sets,
-            result.final_segments,
-            result.segment_rtt_diff,
-        )
-        result.pinning = pinner.run()
-        regional_fallback(
-            result.pinning, result.abis | result.cbis, self.pinger
-        )
-        timers["pinning"] = time.time() - t0
-
-        # §6.2: stratified cross-validation.
-        if self.run_crossval:
-            t0 = time.time()
-            result.crossval = cross_validate_pinning(
+        with metrics.stage("pinning"):
+            result.abi_min_rtts = self._abi_min_rtts(result.abis)
+            result.segment_rtt_diff = self._segment_rtt_diffs(result.final_segments)
+            parser = DNSGeoParser(self.world.catalog)
+            anchor_builder = AnchorBuilder(
+                observatory=self.observatory,
+                abis=result.abis,
+                cbis=result.cbis,
+                pinger=self.pinger,
+                rdns=self.rdns,
+                parser=parser,
+                ixps=self.ixps,
+                peeringdb=self.peeringdb,
+                catalog=self.world.catalog,
+                region_metro=self.region_metro,
+            )
+            result.anchors = anchor_builder.build(result.alias_sets)
+            pinner = IterativePinner(
                 result.anchors.anchors,
                 result.alias_sets,
                 result.final_segments,
                 result.segment_rtt_diff,
-                folds=self.crossval_folds,
-                seed=self.seed,
             )
-            timers["crossval"] = time.time() - t0
+            result.pinning = pinner.run()
+            regional_fallback(
+                result.pinning, result.abis | result.cbis, self.pinger
+            )
+
+        # §6.2: stratified cross-validation.
+        if self.run_crossval:
+            with metrics.stage("crossval"):
+                result.crossval = cross_validate_pinning(
+                    result.anchors.anchors,
+                    result.alias_sets,
+                    result.final_segments,
+                    result.segment_rtt_diff,
+                    folds=self.crossval_folds,
+                    seed=self.seed,
+                )
 
         # §7.1: VPI detection from the other clouds.
         vpi_cbis: Set[IPv4] = set()
         if self.run_vpi:
-            t0 = time.time()
-            detector = VPIDetector(self.world, self.cloud_annotators, self.engine)
-            ixp_cbis = {
-                cbi for cbi in result.cbis if self.annotator_r2.annotate(cbi).is_ixp
-            }
-            result.vpi = detector.detect(
-                result.cbis, ixp_cbis, self.observatory.discovery_dsts()
-            )
-            vpi_cbis = result.vpi.vpi_cbis
-            timers["vpi"] = time.time() - t0
+            with metrics.stage("vpi"):
+                detector = VPIDetector(
+                    self.world,
+                    self.cloud_annotators,
+                    self.engine,
+                    workers=config.workers,
+                )
+                ixp_cbis = {
+                    cbi for cbi in result.cbis if self.annotator_r2.annotate(cbi).is_ixp
+                }
+                result.vpi = detector.detect(
+                    result.cbis,
+                    ixp_cbis,
+                    self.observatory.discovery_dsts(),
+                    progress_factory=lambda cloud: campaign_progress(f"vpi:{cloud}"),
+                )
+                vpi_cbis = result.vpi.vpi_cbis
 
         # §7.2-§7.3: grouping.
-        t0 = time.time()
-        router_owner = (
-            result.verification.ownership.owner_of_ip()
-            if result.verification and result.verification.ownership
-            else {}
-        )
-        grouper = PeeringGrouper(
-            self.observatory,
-            self.relationships,
-            vpi_cbis,
-            router_owner=router_owner,
-            home_asns=set(AMAZON_ASNS),
-        )
-        amazon_bgp_peers = self.relationships.amazon_links()
-        pinned_metros = {
-            ip: loc.metro_code for ip, loc in result.pinning.pinned.items()
-        }
-        result.grouping = grouper.group(
-            result.final_segments,
-            amazon_bgp_peers,
-            pinned_metro=pinned_metros,
-            rtt_diff=result.segment_rtt_diff,
-        )
-        result.bgp_visible_peers = amazon_bgp_peers
-        result.recovered_bgp_peers = amazon_bgp_peers & result.grouping.all_ases()
-        timers["grouping"] = time.time() - t0
+        with metrics.stage("grouping"):
+            router_owner = (
+                result.verification.ownership.owner_of_ip()
+                if result.verification and result.verification.ownership
+                else {}
+            )
+            grouper = PeeringGrouper(
+                self.observatory,
+                self.relationships,
+                vpi_cbis,
+                router_owner=router_owner,
+                home_asns=set(AMAZON_ASNS),
+            )
+            amazon_bgp_peers = self.relationships.amazon_links()
+            pinned_metros = {
+                ip: loc.metro_code for ip, loc in result.pinning.pinned.items()
+            }
+            result.grouping = grouper.group(
+                result.final_segments,
+                amazon_bgp_peers,
+                pinned_metro=pinned_metros,
+                rtt_diff=result.segment_rtt_diff,
+            )
+            result.bgp_visible_peers = amazon_bgp_peers
+            result.recovered_bgp_peers = amazon_bgp_peers & result.grouping.all_ases()
 
         # §7.4: the ICG.
-        t0 = time.time()
-        icg = InterfaceConnectivityGraph(result.final_segments, result.segment_rtt_diff)
-        result.icg = icg.summarize(
-            pinned_metro=pinned_metros,
-            catalog=self.world.catalog,
-            region_metros=sorted(self.region_metro.values()),
-        )
-        timers["icg"] = time.time() - t0
+        with metrics.stage("icg"):
+            icg = InterfaceConnectivityGraph(
+                result.final_segments, result.segment_rtt_diff
+            )
+            result.icg = icg.summarize(
+                pinned_metro=pinned_metros,
+                catalog=self.world.catalog,
+                region_metros=sorted(self.region_metro.values()),
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -297,3 +342,26 @@ class AmazonPeeringStudy:
                 continue
             diffs[(abi, cbi)] = abs(cbi_rtt - abi_rtt)
         return diffs
+
+
+def _coerce_config(
+    config: Optional[StudyConfig], legacy: Dict[str, object]
+) -> StudyConfig:
+    """Merge the deprecated loose kwargs into a :class:`StudyConfig`."""
+    unknown = set(legacy) - set(_LEGACY_CONFIG_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"AmazonPeeringStudy got unexpected keyword argument(s): "
+            f"{sorted(unknown)}"
+        )
+    if config is None:
+        config = StudyConfig()
+    if legacy:
+        warnings.warn(
+            "passing loose keyword arguments to AmazonPeeringStudy is "
+            "deprecated; pass config=StudyConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = config.replace(**legacy)  # type: ignore[arg-type]
+    return config

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.ip import IPv4
 from repro.core.aliasverify import VerificationResult
+from repro.core.config import StudyConfig
 from repro.core.anchors import AnchorSet
 from repro.core.crossval import CrossValidationResult
 from repro.core.graph import ICGSummary
@@ -15,6 +16,7 @@ from repro.core.heuristics import HeuristicOutcome
 from repro.core.pinning import PinningResult
 from repro.core.vpi import VPIDetectionResult
 from repro.measure.campaign import CampaignStats
+from repro.measure.metrics import StudyMetrics
 
 
 @dataclass
@@ -63,9 +65,13 @@ class StudyResult:
     bgp_visible_peers: Set[int] = field(default_factory=set)
     recovered_bgp_peers: Set[int] = field(default_factory=set)
 
-    # Provenance.
+    # Provenance and observability.
     seed: int = 0
     scale: float = 0.0
+    #: the exact configuration the study ran with, for reproducibility.
+    config: Optional[StudyConfig] = None
+    #: per-stage wall-clock and per-campaign throughput.
+    metrics: Optional[StudyMetrics] = None
     runtime_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------

@@ -17,12 +17,13 @@ per-cloud response addresses, and private-address VPIs all stay invisible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set
 
 from repro.net.ip import IPv4
 from repro.core.annotate import HopAnnotator
 from repro.core.borders import BorderObservatory
 from repro.measure.campaign import CampaignStats, ProbeCampaign, vpi_target_pool
+from repro.measure.metrics import CampaignProgress
 from repro.measure.traceroute import TracerouteEngine
 from repro.world.model import World
 
@@ -68,17 +69,20 @@ class VPIDetector:
         annotators: Dict[str, HopAnnotator],
         engine: Optional[TracerouteEngine] = None,
         clouds: Sequence[str] = OTHER_CLOUD_ORDER,
+        workers: int = 1,
     ) -> None:
         self.world = world
         self.annotators = annotators
         self.engine = engine or TracerouteEngine(world)
         self.clouds = list(clouds)
+        self.workers = max(1, workers)
 
     def detect(
         self,
         amazon_cbis: Set[IPv4],
         ixp_cbis: Set[IPv4],
         discovery_dsts: Iterable[IPv4],
+        progress_factory: Optional[Callable[[str], "CampaignProgress"]] = None,
     ) -> VPIDetectionResult:
         result = VPIDetectionResult()
         non_ixp = sorted(amazon_cbis - ixp_cbis)
@@ -89,8 +93,14 @@ class VPIDetector:
         running: Set[IPv4] = set()
         for cloud in self.clouds:
             observatory = BorderObservatory(self.annotators[cloud])
-            campaign = ProbeCampaign(self.world, self.engine, cloud=cloud)
-            stats = campaign.run(pool, observatory.ingest)
+            campaign = ProbeCampaign(
+                self.world, self.engine, cloud=cloud, workers=self.workers
+            )
+            stats = campaign.run(
+                pool,
+                observatory,
+                progress=progress_factory(cloud) if progress_factory else None,
+            )
             other_cbis = observatory.candidate_cbis()
             overlap = set(amazon_cbis) & other_cbis
             result.pairwise[cloud] = overlap

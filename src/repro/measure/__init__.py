@@ -8,11 +8,27 @@ real one.
 from repro.measure.alias import AliasResolver
 from repro.measure.campaign import (
     CampaignStats,
+    CloudMembership,
     ProbeCampaign,
     vpi_target_pool,
 )
+from repro.measure.executor import (
+    Shard,
+    ShardedExecutor,
+    partition_targets,
+    plan_shards,
+)
+from repro.measure.metrics import CampaignProgress, ShardTiming, StudyMetrics
 from repro.measure.ping import Pinger
 from repro.measure.reachability import PublicVantagePoint
+from repro.measure.sink import (
+    CallbackSink,
+    CollectorSink,
+    FanoutSink,
+    ProbeSink,
+    StatsSink,
+    as_sink,
+)
 from repro.measure.traceroute import (
     GAP_LIMIT,
     StopReason,
@@ -23,14 +39,28 @@ from repro.measure.traceroute import (
 
 __all__ = [
     "AliasResolver",
+    "CallbackSink",
+    "CampaignProgress",
     "CampaignStats",
+    "CloudMembership",
+    "CollectorSink",
+    "FanoutSink",
     "GAP_LIMIT",
     "Pinger",
     "ProbeCampaign",
+    "ProbeSink",
     "PublicVantagePoint",
+    "Shard",
+    "ShardTiming",
+    "ShardedExecutor",
+    "StatsSink",
     "StopReason",
+    "StudyMetrics",
     "TraceHop",
     "Traceroute",
     "TracerouteEngine",
+    "as_sink",
+    "partition_targets",
+    "plan_shards",
     "vpi_target_pool",
 ]

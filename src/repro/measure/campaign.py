@@ -4,7 +4,10 @@ Round 1 sweeps the ``.1`` of every /24 in the target universe from every
 region.  Round 2 ("expansion probing") targets every other address of the
 /24s around the CBIs discovered in round 1.  The VPI round re-probes a
 target pool from the four other clouds.  All campaigns stream traces into
-consumers so memory stays bounded at any scale.
+:class:`~repro.measure.sink.ProbeSink` consumers so memory stays bounded
+at any scale, and every run goes through the sharded executor -- serial
+when ``workers <= 1``, a ``multiprocessing`` pool otherwise, with
+identical output either way.
 """
 
 from __future__ import annotations
@@ -12,10 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
-from repro.net.ip import IPv4, Prefix
+from repro.net.ip import IPv4
+from repro.measure.metrics import CampaignProgress
+from repro.measure.sink import SinkLike
 from repro.measure.traceroute import Traceroute, TracerouteEngine
 from repro.world.model import World
 
+#: Deprecated alias; campaign APIs now accept any :data:`SinkLike`
+#: (a ``ProbeSink`` or a bare callable).  Kept for old call sites.
 TraceConsumer = Callable[[Traceroute], None]
 
 
@@ -48,6 +55,28 @@ class CampaignStats:
         return self.left_cloud / self.probes if self.probes else 0.0
 
 
+class CloudMembership:
+    """Decides whether a trace escaped the probing cloud's address space.
+
+    Stateless after construction and rebuilt cheaply inside executor
+    workers from ``(world, cloud)``.
+    """
+
+    def __init__(self, world: World, cloud: str) -> None:
+        self._own_blocks = list(
+            world.cloud_announced_blocks.get(cloud, [])
+        ) + list(world.cloud_infra_blocks.get(cloud, []))
+
+    def left_cloud(self, trace: Traceroute) -> bool:
+        for ip in trace.responsive_ips:
+            if ip == trace.dst:
+                continue
+            inside = any(ip in block for block in self._own_blocks)
+            if not inside and not _is_private_or_shared(ip):
+                return True
+        return False
+
+
 class ProbeCampaign:
     """Drives a :class:`TracerouteEngine` over target lists."""
 
@@ -57,44 +86,53 @@ class ProbeCampaign:
         engine: Optional[TracerouteEngine] = None,
         cloud: str = "amazon",
         regions: Optional[Sequence[str]] = None,
+        workers: int = 1,
     ) -> None:
         self.world = world
         self.cloud = cloud
         self.engine = engine or TracerouteEngine(world)
         self.regions = list(regions or world.region_names(cloud))
-        #: cloud-owned space, used to decide whether a trace "left" it.
-        self._own_blocks = [
-            p
-            for p in world.cloud_announced_blocks.get(cloud, [])
-            + world.cloud_infra_blocks.get(cloud, [])
-        ]
+        self.workers = max(1, workers)
+        self.membership = CloudMembership(world, cloud)
 
     # ------------------------------------------------------------------
 
     def _left_cloud(self, trace: Traceroute) -> bool:
-        for ip in trace.responsive_ips:
-            if ip == trace.dst:
-                continue
-            inside = any(ip in block for block in self._own_blocks)
-            if not inside and not _is_private_or_shared(ip):
-                return True
-        return False
+        return self.membership.left_cloud(trace)
 
     def run(
         self,
         targets: Iterable[IPv4],
-        consumer: TraceConsumer,
+        sink: SinkLike,
         stats: Optional[CampaignStats] = None,
         regions: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+        progress: Optional[CampaignProgress] = None,
     ) -> CampaignStats:
-        """Probe every target from every region, streaming to ``consumer``."""
+        """Probe every target from every region, streaming to ``sink``.
+
+        ``targets`` may be any iterable; it is materialized exactly once.
+        With ``workers > 1`` shards run on a process pool, but the merged
+        trace stream (and therefore everything downstream) is identical
+        to the serial run.
+        """
+        from repro.measure.executor import ShardedExecutor
+
         stats = stats or CampaignStats()
-        target_list = list(targets)
-        for region in regions or self.regions:
-            for dst in target_list:
-                trace = self.engine.trace(self.cloud, region, dst)
-                stats.record(trace, self._left_cloud(trace))
-                consumer(trace)
+        executor = ShardedExecutor(
+            self.world,
+            self.engine,
+            self.membership,
+            cloud=self.cloud,
+            workers=self.workers if workers is None else workers,
+        )
+        executor.run(
+            targets,
+            sink,
+            stats,
+            regions=list(regions or self.regions),
+            progress=progress,
+        )
         return stats
 
     # ------------------------------------------------------------------
@@ -105,9 +143,15 @@ class ProbeCampaign:
             yield p24.network + 1
 
     def run_round1(
-        self, consumer: TraceConsumer, stats: Optional[CampaignStats] = None
+        self,
+        sink: SinkLike,
+        stats: Optional[CampaignStats] = None,
+        workers: Optional[int] = None,
+        progress: Optional[CampaignProgress] = None,
     ) -> CampaignStats:
-        return self.run(list(self.round1_targets()), consumer, stats)
+        return self.run(
+            self.round1_targets(), sink, stats, workers=workers, progress=progress
+        )
 
     # ------------------------------------------------------------------
 
@@ -120,6 +164,8 @@ class ProbeCampaign:
         ``stride`` sub-samples each /24 for cheaper runs; 1 reproduces the
         paper's exhaustive expansion.
         """
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
         targets: List[IPv4] = []
         seen: Set[int] = set()
         cbis = set(cbi_ips)
@@ -137,11 +183,19 @@ class ProbeCampaign:
     def run_expansion(
         self,
         cbi_ips: Iterable[IPv4],
-        consumer: TraceConsumer,
+        sink: SinkLike,
         stats: Optional[CampaignStats] = None,
         stride: int = 1,
+        workers: Optional[int] = None,
+        progress: Optional[CampaignProgress] = None,
     ) -> CampaignStats:
-        return self.run(self.expansion_targets(cbi_ips, stride), consumer, stats)
+        return self.run(
+            self.expansion_targets(cbi_ips, stride),
+            sink,
+            stats,
+            workers=workers,
+            progress=progress,
+        )
 
 
 def _is_private_or_shared(ip: IPv4) -> bool:

@@ -1,0 +1,148 @@
+"""Campaign and pipeline observability.
+
+Replaces the ad-hoc ``timers`` dict the study driver used to fill by hand:
+
+* :class:`CampaignProgress` -- live throughput of one probing campaign
+  (probes completed, probes/sec, per-region counts, per-shard latencies),
+  updated by the sharded executor as merged shards stream in;
+* :class:`StudyMetrics` -- wall-clock per pipeline stage plus the progress
+  object of every campaign the study ran, carried on ``StudyResult`` and
+  rendered by ``render_report``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock of one executed shard, as observed by the worker."""
+
+    index: int
+    region: str
+    probes: int
+    seconds: float
+
+
+#: Callback fired after every merged shard (used by ``--progress``).
+ProgressCallback = Callable[["CampaignProgress", ShardTiming], None]
+
+
+@dataclass
+class CampaignProgress:
+    """Throughput counters for one campaign (round 1, expansion, VPI...)."""
+
+    label: str
+    workers: int = 1
+    expected_probes: int = 0
+    shard_count: int = 0
+    probes: int = 0
+    by_region: Dict[str, int] = field(default_factory=dict)
+    shard_timings: List[ShardTiming] = field(default_factory=list)
+    callback: Optional[ProgressCallback] = None
+    _started: Optional[float] = None
+    _finished: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self, expected_probes: int, shards: int, workers: int) -> None:
+        self.expected_probes = expected_probes
+        self.shard_count = shards
+        self.workers = workers
+        self._started = time.perf_counter()
+        self._finished = None
+
+    def note_shard(self, timing: ShardTiming) -> None:
+        self.probes += timing.probes
+        self.by_region[timing.region] = (
+            self.by_region.get(timing.region, 0) + timing.probes
+        )
+        self.shard_timings.append(timing)
+        if self.callback is not None:
+            self.callback(self, timing)
+
+    def finish(self) -> None:
+        self._finished = time.perf_counter()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._finished if self._finished is not None else time.perf_counter()
+        return end - self._started
+
+    @property
+    def probes_per_second(self) -> float:
+        elapsed = self.elapsed_seconds
+        return self.probes / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def done_fraction(self) -> float:
+        if not self.expected_probes:
+            return 0.0
+        return self.probes / self.expected_probes
+
+    @property
+    def mean_shard_seconds(self) -> float:
+        if not self.shard_timings:
+            return 0.0
+        return sum(t.seconds for t in self.shard_timings) / len(self.shard_timings)
+
+    @property
+    def max_shard_seconds(self) -> float:
+        if not self.shard_timings:
+            return 0.0
+        return max(t.seconds for t in self.shard_timings)
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: {self.probes} probes in {self.elapsed_seconds:.1f}s "
+            f"({self.probes_per_second:.0f}/s) over "
+            f"{len(self.shard_timings)} shards x {self.workers} worker(s); "
+            f"{len(self.by_region)} regions, shard latency "
+            f"mean {self.mean_shard_seconds * 1000:.0f}ms / "
+            f"max {self.max_shard_seconds * 1000:.0f}ms"
+        )
+
+
+class StudyMetrics:
+    """Per-stage wall-clock plus per-campaign progress for one study run."""
+
+    def __init__(self) -> None:
+        #: stage name -> wall-clock seconds, in execution order.
+        self.stages: Dict[str, float] = {}
+        #: campaign label -> its progress/throughput record.
+        self.campaigns: Dict[str, CampaignProgress] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage: ``with metrics.stage("round1"): ...``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def campaign(
+        self, label: str, callback: Optional[ProgressCallback] = None
+    ) -> CampaignProgress:
+        """Create (or fetch) the progress record for a campaign."""
+        progress = self.campaigns.get(label)
+        if progress is None:
+            progress = CampaignProgress(label=label, callback=callback)
+            self.campaigns[label] = progress
+        elif callback is not None:
+            progress.callback = callback
+        return progress
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stages.values())

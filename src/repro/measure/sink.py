@@ -1,0 +1,108 @@
+"""Composable consumers of traceroute streams.
+
+Campaigns used to push every trace into a single bare callback, and any
+extra bookkeeping (yield statistics, progress counters, the border
+observatory) had to be hand-wired inside ``ProbeCampaign.run``.  The
+:class:`ProbeSink` protocol replaces that: anything with a
+``consume(trace)`` method is a sink, sinks compose through
+:class:`FanoutSink`, and a sink may optionally expose ``close()`` to flush
+state when the campaign that feeds it finishes.
+
+Plain callables still work everywhere a sink is accepted --
+:func:`as_sink` wraps them in a :class:`CallbackSink` -- so the historical
+``consumer=lambda trace: ...`` call sites keep running unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol, Union, runtime_checkable
+
+from repro.measure.traceroute import Traceroute
+
+
+@runtime_checkable
+class ProbeSink(Protocol):
+    """Anything that can receive a stream of traceroutes.
+
+    ``close()`` is optional; when present it is invoked once by the
+    executor after the campaign's last trace has been delivered.
+    """
+
+    def consume(self, trace: Traceroute) -> None:  # pragma: no cover - protocol
+        ...
+
+
+#: What campaign APIs accept: a sink object or a bare per-trace callable.
+SinkLike = Union[ProbeSink, Callable[[Traceroute], None]]
+
+
+def as_sink(obj: SinkLike) -> ProbeSink:
+    """Coerce ``obj`` to a :class:`ProbeSink` (callables get wrapped)."""
+    if hasattr(obj, "consume"):
+        return obj  # type: ignore[return-value]
+    if callable(obj):
+        return CallbackSink(obj)
+    raise TypeError(f"not a ProbeSink or callable: {obj!r}")
+
+
+def close_sink(sink: ProbeSink) -> None:
+    """Invoke the optional ``close()`` hook, if the sink has one."""
+    close = getattr(sink, "close", None)
+    if close is not None:
+        close()
+
+
+class CallbackSink:
+    """Adapter giving a bare ``Callable[[Traceroute], None]`` the sink API."""
+
+    def __init__(self, fn: Callable[[Traceroute], None]) -> None:
+        self.fn = fn
+
+    def consume(self, trace: Traceroute) -> None:
+        self.fn(trace)
+
+
+class FanoutSink:
+    """Deliver every trace to several sinks, in construction order."""
+
+    def __init__(self, *sinks: SinkLike) -> None:
+        self.sinks: List[ProbeSink] = [as_sink(s) for s in sinks]
+
+    def consume(self, trace: Traceroute) -> None:
+        for sink in self.sinks:
+            sink.consume(trace)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close_sink(sink)
+
+
+class StatsSink:
+    """Record campaign yield statistics as traces stream past.
+
+    ``left_cloud`` decides whether a trace escaped the probing cloud's
+    address space (see ``CloudMembership``); omit it to count every trace
+    as staying inside.
+    """
+
+    def __init__(
+        self,
+        stats,  # CampaignStats; untyped to avoid a circular import
+        left_cloud: Optional[Callable[[Traceroute], bool]] = None,
+    ) -> None:
+        self.stats = stats
+        self.left_cloud = left_cloud
+
+    def consume(self, trace: Traceroute) -> None:
+        left = self.left_cloud(trace) if self.left_cloud is not None else False
+        self.stats.record(trace, left)
+
+
+class CollectorSink:
+    """Buffer every trace in order -- handy in tests and notebooks."""
+
+    def __init__(self) -> None:
+        self.traces: List[Traceroute] = []
+
+    def consume(self, trace: Traceroute) -> None:
+        self.traces.append(trace)

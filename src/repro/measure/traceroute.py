@@ -9,6 +9,12 @@ unresponsive hops, and a status flag describing how the probe ended.
 The engine is the only component that turns ground-truth ``PathPlan``s into
 observable measurements; everything downstream sees only ``Traceroute``
 records.
+
+Every probe draws its noise (responsiveness, loss, jitter, loop injection)
+from an RNG derived solely from ``(engine seed, cloud, region, dst)``.  A
+probe's outcome therefore never depends on how many probes ran before it,
+which is what lets the sharded executor split a campaign across worker
+processes and still reproduce the serial run bit for bit.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ class TracerouteEngine:
     def __init__(self, world: World, seed: int = 0) -> None:
         self.world = world
         self.config = world.config
+        self.seed = seed
         self._rng = random.Random(repr(("traceroute", seed)))
         # Pre-fetch per-router data the hot loop needs.
         self._router_role = {
@@ -99,13 +106,18 @@ class TracerouteEngine:
             return incoming
         return ifaces[0]
 
+    def probe_rng(self, cloud: str, region: str, dst: IPv4) -> random.Random:
+        """The per-probe noise stream: a pure function of the probe key."""
+        return random.Random(repr(("probe", self.seed, cloud, region, dst)))
+
     def trace(self, cloud: str, region: str, dst: IPv4) -> Traceroute:
         """Probe ``dst`` from the VM in ``region`` of ``cloud``."""
         plan = self.world.resolve_path(cloud, region, dst)
-        return self._realize(plan, cloud, region)
+        return self._realize(plan, cloud, region, self.probe_rng(cloud, region, dst))
 
-    def _realize(self, plan: PathPlan, cloud: str, region: str) -> Traceroute:
-        rng = self._rng
+    def _realize(
+        self, plan: PathPlan, cloud: str, region: str, rng: random.Random
+    ) -> Traceroute:
         cfg = self.config
         catalog = self.world.catalog
         region_metro = self.world.regions[cloud][region].metro_code

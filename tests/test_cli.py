@@ -21,6 +21,12 @@ class TestParser:
         assert args.skip_vpi
         assert args.with_bdrmap
 
+    def test_worker_flags(self):
+        args = build_parser().parse_args(["--workers", "4", "--progress"])
+        assert args.workers == 4
+        assert args.progress
+        assert build_parser().parse_args([]).workers == 1
+
 
 class TestMain:
     def test_tiny_run(self, capsys):
@@ -37,6 +43,23 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Table 5" in out
+
+    def test_parallel_run_with_progress(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--seed", "13",
+                "--expansion-stride", "16",
+                "--skip-vpi",
+                "--skip-crossval",
+                "--workers", "2",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "campaign throughput:" in captured.out
+        assert "round1:" in captured.err
 
     def test_run_with_evaluation(self, capsys):
         code = main(

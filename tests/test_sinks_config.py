@@ -1,0 +1,166 @@
+"""ProbeSink protocol, sink composition, and the StudyConfig redesign."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.borders import BorderObservatory
+from repro.core.config import StudyConfig
+from repro.core.pipeline import AmazonPeeringStudy
+from repro.measure.campaign import CampaignStats, CloudMembership
+from repro.measure.sink import (
+    CallbackSink,
+    CollectorSink,
+    FanoutSink,
+    ProbeSink,
+    StatsSink,
+    as_sink,
+    close_sink,
+)
+from repro.measure.traceroute import StopReason, TraceHop, Traceroute
+
+
+def _trace(region="use1", dst=0x0B000001, completed=True):
+    return Traceroute(
+        cloud="amazon",
+        region=region,
+        dst=dst,
+        hops=[TraceHop(ttl=1, ip=0x0A000001, rtt_ms=1.0)],
+        stop_reason=StopReason.COMPLETED if completed else StopReason.GAP_LIMIT,
+    )
+
+
+class TestAsSink:
+    def test_wraps_callable(self):
+        seen = []
+        sink = as_sink(seen.append)
+        assert isinstance(sink, CallbackSink)
+        sink.consume(_trace())
+        assert len(seen) == 1
+
+    def test_passes_sinks_through(self):
+        sink = CollectorSink()
+        assert as_sink(sink) is sink
+
+    def test_rejects_non_sink(self):
+        with pytest.raises(TypeError):
+            as_sink(42)
+
+    def test_observatory_is_a_probe_sink(self):
+        # Structural conformance is all that matters for the executor.
+        assert hasattr(BorderObservatory, "consume")
+        assert callable(BorderObservatory.consume)
+
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(CollectorSink(), ProbeSink)
+        assert isinstance(CallbackSink(lambda t: None), ProbeSink)
+        assert not isinstance(object(), ProbeSink)
+
+
+class TestFanout:
+    def test_fanout_delivers_in_order(self):
+        order = []
+        fan = FanoutSink(
+            lambda t: order.append("a"),
+            lambda t: order.append("b"),
+        )
+        fan.consume(_trace())
+        fan.consume(_trace())
+        assert order == ["a", "b", "a", "b"]
+
+    def test_fanout_close_propagates(self):
+        class Closeable:
+            closed = False
+
+            def consume(self, trace):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        closeable = Closeable()
+        fan = FanoutSink(closeable, lambda t: None)
+        close_sink(fan)
+        assert closeable.closed
+
+    def test_close_sink_tolerates_closeless_sinks(self):
+        close_sink(CollectorSink())  # no close(): must be a no-op
+
+
+class TestStatsSink:
+    def test_records_with_membership(self, tiny_world):
+        stats = CampaignStats()
+        membership = CloudMembership(tiny_world, "amazon")
+        sink = StatsSink(stats, membership.left_cloud)
+        sink.consume(_trace(completed=True))
+        sink.consume(_trace(completed=False))
+        assert stats.probes == 2
+        assert stats.completed == 1
+        assert stats.gap_limited == 1
+
+    def test_default_counts_nothing_as_left(self):
+        stats = CampaignStats()
+        StatsSink(stats).consume(_trace())
+        assert stats.left_cloud == 0
+
+
+class TestStudyConfig:
+    def test_frozen(self):
+        config = StudyConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.workers = 8
+
+    def test_defaults(self):
+        config = StudyConfig()
+        assert config.workers == 1
+        assert config.run_vpi and config.run_crossval
+        assert config.scale is None
+
+    def test_replace(self):
+        config = StudyConfig(seed=5).replace(workers=4)
+        assert (config.seed, config.workers) == (5, 4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"expansion_stride": 0},
+            {"crossval_folds": 1},
+            {"workers": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StudyConfig(**kwargs)
+
+    def test_as_dict_round_trips(self):
+        config = StudyConfig(seed=9, workers=3)
+        assert StudyConfig(**config.as_dict()) == config
+
+
+class TestLegacyKwargsShim:
+    def test_loose_kwargs_warn_and_apply(self, tiny_world):
+        with pytest.warns(DeprecationWarning):
+            study = AmazonPeeringStudy(
+                tiny_world, seed=5, expansion_stride=4, run_vpi=False
+            )
+        assert study.config == StudyConfig(
+            seed=5, expansion_stride=4, run_vpi=False
+        )
+        assert study.seed == 5
+        assert study.expansion_stride == 4
+
+    def test_positional_seed_still_works(self, tiny_world):
+        with pytest.warns(DeprecationWarning):
+            study = AmazonPeeringStudy(tiny_world, 5)
+        assert study.config.seed == 5
+
+    def test_config_object_does_not_warn(self, tiny_world, recwarn):
+        study = AmazonPeeringStudy(tiny_world, StudyConfig(seed=2))
+        assert study.config.seed == 2
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_unknown_kwarg_rejected(self, tiny_world):
+        with pytest.raises(TypeError):
+            AmazonPeeringStudy(tiny_world, frobnicate=True)
