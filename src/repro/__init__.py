@@ -31,13 +31,19 @@ from repro.analysis.report import render_report
 from repro.core.config import StudyConfig
 from repro.core.pipeline import AmazonPeeringStudy
 from repro.core.results import StudyResult
+from repro.measure.checkpoint import CheckpointStore
+from repro.measure.executor import RetryPolicy
+from repro.measure.faults import FaultPlan
 from repro.world.build import WorldConfig, build_world
 from repro.world.model import World
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AmazonPeeringStudy",
+    "CheckpointStore",
+    "FaultPlan",
+    "RetryPolicy",
     "StudyConfig",
     "StudyResult",
     "World",

@@ -13,6 +13,48 @@ def _fmt_pct(x: float) -> str:
     return f"{x:5.1f}%"
 
 
+def _render_resilience(result: StudyResult, add) -> None:
+    """Fault/retry/completeness block -- printed only when relevant.
+
+    Relevant means a fault plan was configured, or any campaign saw a
+    failed attempt, quarantine, or checkpoint resume; a clean run keeps
+    the historical report byte-for-byte.
+    """
+    metrics = result.metrics
+    fault_plan = result.config.fault_plan if result.config else None
+    if metrics is None:
+        return
+    eventful = (
+        metrics.total_failures
+        or metrics.total_quarantined
+        or metrics.total_resumed
+        or metrics.degraded
+    )
+    if fault_plan is None and not eventful:
+        return
+    add("resilience:")
+    if fault_plan is not None:
+        add(f"  fault plan: {fault_plan.describe()}")
+    for label, progress in metrics.campaigns.items():
+        add(
+            f"  {label}: completeness {progress.completeness * 100:.1f}% "
+            f"({progress.probes}/{progress.expected_probes} probes), "
+            f"{len(progress.failures)} failed attempt(s), "
+            f"{len(progress.quarantined)} quarantined shard(s), "
+            f"{progress.resumed_shards} resumed from checkpoint"
+        )
+        for shard in progress.quarantined:
+            add(
+                f"    quarantined shard {shard.index} ({shard.region}, "
+                f"{shard.probes} probes): {shard.error}"
+            )
+    if metrics.degraded:
+        add(
+            "  WARNING: one or more campaigns are incomplete; downstream "
+            "inference ran on partial data"
+        )
+
+
 def render_report(
     result: StudyResult,
     relationships: Optional[ASRelationships] = None,
@@ -204,6 +246,7 @@ def render_report(
         add("campaign throughput:")
         for progress in result.metrics.campaigns.values():
             add("  " + progress.summary())
+    _render_resilience(result, add)
     if result.config is not None:
         add(
             "config: "

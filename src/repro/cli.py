@@ -17,6 +17,7 @@ from repro.analysis.report import render_report
 from repro.core.config import StudyConfig
 from repro.core.evaluation import evaluate_study
 from repro.core.pipeline import AmazonPeeringStudy
+from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress, ShardTiming
 from repro.world.build import WorldConfig, build_world
 
@@ -43,6 +44,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "for any value (default 1 = serial)")
     parser.add_argument("--progress", action="store_true",
                         help="print live campaign progress to stderr")
+    parser.add_argument("--fault-plan", type=str, default=None, metavar="SPEC",
+                        help="inject deterministic faults, e.g. "
+                             "'crash=0.25,slow=0.1,slow-seconds=0.5,"
+                             "loss=use1:0.05,rate-limit=0.2,seed=1'")
+    parser.add_argument("--shard-timeout", type=float, default=None, metavar="S",
+                        help="seconds before a pooled shard attempt is "
+                             "abandoned and retried inline")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per shard before quarantine (default 2)")
+    parser.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                        help="journal completed shards here so a killed run "
+                             "can restart without re-probing them")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay finished shards from --checkpoint-dir")
+    parser.add_argument("--digest", action="store_true",
+                        help="print the result's sha256 content digest "
+                             "(identical across workers/faults/resume)")
     parser.add_argument("--with-bdrmap", action="store_true",
                         help="also run the bdrmap baseline comparison (section 8)")
     parser.add_argument("--with-evaluation", action="store_true",
@@ -75,6 +93,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        fault_plan = (
+            FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+        )
         config = StudyConfig(
             scale=args.scale,
             seed=args.seed,
@@ -83,6 +104,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_vpi=not args.skip_vpi,
             run_crossval=not args.skip_crossval,
             workers=args.workers,
+            fault_plan=fault_plan,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -105,6 +131,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("running the measurement study...", file=sys.stderr)
     result = study.run()
     print(render_report(result, study.relationships))
+    if args.digest:
+        print(f"study digest: {result.digest()}")
 
     if args.with_bdrmap:
         from repro.bdrmap import BdrmapEngine, compare

@@ -3,8 +3,11 @@
 :class:`StudyConfig` replaces the loose keyword arguments
 ``AmazonPeeringStudy`` used to take.  It is immutable (safe to share with
 worker processes and to record on the ``StudyResult`` for provenance) and
-carries every knob the end-to-end run honours.  The old kwargs still work
-through a deprecation shim on ``AmazonPeeringStudy``.
+carries every knob the end-to-end run honours -- including the resilience
+surface: an optional :class:`~repro.measure.faults.FaultPlan`, per-shard
+timeout and retry bounds, and the checkpoint directory that makes a
+killed campaign resumable.  The old kwargs still work through a
+deprecation shim on ``AmazonPeeringStudy``.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
+
+from repro.measure.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -30,6 +35,21 @@ class StudyConfig:
     run_crossval: bool = True
     workers: int = 1
 
+    # --- resilience / chaos --------------------------------------------
+    #: deterministic fault schedule consulted by the engine and executor.
+    fault_plan: Optional[FaultPlan] = None
+    #: seconds before a pooled shard attempt is abandoned and retried.
+    shard_timeout: Optional[float] = None
+    #: retries per shard before quarantine (0 = fail fast).
+    max_retries: int = 2
+    #: first retry backoff; doubles per retry.
+    retry_backoff_s: float = 0.05
+    #: directory for per-campaign shard journals (None = no checkpoints).
+    checkpoint_dir: Optional[str] = None
+    #: replay finished shards from ``checkpoint_dir`` instead of
+    #: re-probing them (requires ``checkpoint_dir``).
+    resume: bool = False
+
     def __post_init__(self) -> None:
         if self.expansion_stride < 1:
             raise ValueError(
@@ -41,6 +61,20 @@ class StudyConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume=True requires checkpoint_dir")
 
     # ------------------------------------------------------------------
 

@@ -44,7 +44,9 @@ from repro.datasets import (
 from repro.datasets.whois import WhoisRegistry
 from repro.measure.alias import AliasResolver
 from repro.measure.campaign import ProbeCampaign
+from repro.measure.checkpoint import CheckpointStore
 from repro.measure.dnslookup import ReverseDNS
+from repro.measure.executor import RetryPolicy
 from repro.measure.metrics import ProgressCallback, StudyMetrics
 from repro.measure.ping import Pinger
 from repro.measure.reachability import PublicVantagePoint
@@ -59,6 +61,11 @@ _LEGACY_CONFIG_KWARGS = (
     "run_vpi",
     "run_crossval",
     "workers",
+    "fault_plan",
+    "shard_timeout",
+    "max_retries",
+    "checkpoint_dir",
+    "resume",
 )
 
 
@@ -99,8 +106,20 @@ class AmazonPeeringStudy:
         self.bgp_r1 = snapshot_from_world(world, "r1")
         self.bgp_r2 = snapshot_from_world(world, "r2")
 
-        # Measurement plane.
-        self.engine = TracerouteEngine(world, seed=seed)
+        # Measurement plane.  The engine carries the observation side of
+        # the fault plan (loss, rate limits); the executor's retry policy
+        # and the transport side ride in through every ProbeCampaign.
+        self.engine = TracerouteEngine(world, seed=seed, faults=config.fault_plan)
+        self.retry_policy = RetryPolicy(
+            shard_timeout=config.shard_timeout,
+            max_retries=config.max_retries,
+            backoff_base_s=config.retry_backoff_s,
+        )
+        self.checkpoint_store = (
+            CheckpointStore(config.checkpoint_dir, resume=config.resume)
+            if config.checkpoint_dir
+            else None
+        )
         self.pinger = Pinger(world, seed=seed)
         self.public_vp = PublicVantagePoint(world, seed=seed)
         self.rdns = ReverseDNS(world)
@@ -140,10 +159,18 @@ class AmazonPeeringStudy:
             return metrics.campaign(label, callback=self.progress_callback)
 
         # §3-§4.1: round-1 sweep.
-        campaign = ProbeCampaign(self.world, self.engine, workers=config.workers)
+        campaign = ProbeCampaign(
+            self.world,
+            self.engine,
+            workers=config.workers,
+            faults=config.fault_plan,
+            retry=self.retry_policy,
+        )
         with metrics.stage("round1"):
             result.round1_stats = campaign.run_round1(
-                self.observatory, progress=campaign_progress("round1")
+                self.observatory,
+                progress=campaign_progress("round1"),
+                checkpoint_store=self.checkpoint_store,
             )
 
         r1_abis = self.observatory.candidate_abis()
@@ -160,6 +187,7 @@ class AmazonPeeringStudy:
                 self.observatory,
                 stride=self.expansion_stride,
                 progress=campaign_progress("round2"),
+                checkpoint_store=self.checkpoint_store,
             )
 
         e_abis = self.observatory.candidate_abis()
@@ -233,6 +261,9 @@ class AmazonPeeringStudy:
                     self.cloud_annotators,
                     self.engine,
                     workers=config.workers,
+                    faults=config.fault_plan,
+                    retry=self.retry_policy,
+                    checkpoint_store=self.checkpoint_store,
                 )
                 ixp_cbis = {
                     cbi for cbi in result.cbis if self.annotator_r2.annotate(cbi).is_ixp

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.net.ip import IPv4
 from repro.core.aliasverify import VerificationResult
@@ -102,3 +103,70 @@ class StudyResult:
         if not self.bgp_visible_peers:
             return 0.0
         return len(self.recovered_bgp_peers) / len(self.bgp_visible_peers)
+
+    # ------------------------------------------------------------------
+
+    def digest_inputs(self) -> Dict[str, Any]:
+        """The canonical, order-stable content summary behind ``digest``.
+
+        Covers everything the determinism guarantee promises: census
+        counts and source mixes, campaign yields, the inferred ABI/CBI
+        sets and segments, alias sets, and the VPI intersections.
+        Timings, throughput, and other wall-clock observables are
+        deliberately excluded -- they vary run to run.
+        """
+        def stats_row(stats: Optional[CampaignStats]) -> Optional[tuple]:
+            if stats is None:
+                return None
+            return (
+                stats.probes,
+                stats.completed,
+                stats.left_cloud,
+                stats.gap_limited,
+                stats.lost_probes,
+                tuple(sorted(stats.by_region.items())),
+            )
+
+        vpi: Optional[Dict[str, Any]] = None
+        if self.vpi is not None:
+            vpi = {
+                "pool_size": self.vpi.pool_size,
+                "amazon_cbis": self.vpi.amazon_cbis,
+                "pairwise": {
+                    cloud: tuple(sorted(ips))
+                    for cloud, ips in sorted(self.vpi.pairwise.items())
+                },
+                "cumulative": {
+                    cloud: tuple(sorted(ips))
+                    for cloud, ips in sorted(self.vpi.cumulative.items())
+                },
+            }
+        return {
+            "table1": [
+                (r.label, r.total, r.bgp_fraction, r.whois_fraction, r.ixp_fraction)
+                for r in self.table1
+            ],
+            "round1": stats_row(self.round1_stats),
+            "round2": stats_row(self.round2_stats),
+            "peer_ases": (self.peer_ases_round1, self.peer_ases_round2),
+            "abis": tuple(sorted(self.abis)),
+            "cbis": tuple(sorted(self.cbis)),
+            "segments": tuple(sorted(self.final_segments)),
+            "alias_sets": tuple(
+                sorted(tuple(sorted(s)) for s in self.alias_sets)
+            ),
+            "vpi": vpi,
+        }
+
+    def digest(self) -> str:
+        """A sha256 over the run's inference outputs.
+
+        Two runs with equal digests produced byte-identical censuses,
+        border sets, and VPI intersections -- the golden-snapshot
+        regression test and the CI fault-injection smoke job compare
+        exactly this value across worker counts, injected faults, and
+        checkpoint resumes.
+        """
+        return hashlib.sha256(
+            repr(self.digest_inputs()).encode()
+        ).hexdigest()

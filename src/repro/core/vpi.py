@@ -23,6 +23,9 @@ from repro.net.ip import IPv4
 from repro.core.annotate import HopAnnotator
 from repro.core.borders import BorderObservatory
 from repro.measure.campaign import CampaignStats, ProbeCampaign, vpi_target_pool
+from repro.measure.checkpoint import CheckpointStore
+from repro.measure.executor import RetryPolicy
+from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress
 from repro.measure.traceroute import TracerouteEngine
 from repro.world.model import World
@@ -70,12 +73,18 @@ class VPIDetector:
         engine: Optional[TracerouteEngine] = None,
         clouds: Sequence[str] = OTHER_CLOUD_ORDER,
         workers: int = 1,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> None:
         self.world = world
         self.annotators = annotators
-        self.engine = engine or TracerouteEngine(world)
+        self.engine = engine or TracerouteEngine(world, faults=faults)
         self.clouds = list(clouds)
         self.workers = max(1, workers)
+        self.faults = faults if faults is not None else self.engine.faults
+        self.retry = retry
+        self.checkpoint_store = checkpoint_store
 
     def detect(
         self,
@@ -94,12 +103,19 @@ class VPIDetector:
         for cloud in self.clouds:
             observatory = BorderObservatory(self.annotators[cloud])
             campaign = ProbeCampaign(
-                self.world, self.engine, cloud=cloud, workers=self.workers
+                self.world,
+                self.engine,
+                cloud=cloud,
+                workers=self.workers,
+                faults=self.faults,
+                retry=self.retry,
             )
             stats = campaign.run(
                 pool,
                 observatory,
                 progress=progress_factory(cloud) if progress_factory else None,
+                checkpoint_store=self.checkpoint_store,
+                checkpoint_label=f"vpi:{cloud}",
             )
             other_cbis = observatory.candidate_cbis()
             overlap = set(amazon_cbis) & other_cbis

@@ -12,13 +12,22 @@ from repro.measure.campaign import (
     ProbeCampaign,
     vpi_target_pool,
 )
+from repro.measure.checkpoint import CampaignCheckpoint, CheckpointStore
 from repro.measure.executor import (
+    RetryPolicy,
     Shard,
     ShardedExecutor,
     partition_targets,
     plan_shards,
 )
-from repro.measure.metrics import CampaignProgress, ShardTiming, StudyMetrics
+from repro.measure.faults import FaultPlan, InjectedWorkerCrash
+from repro.measure.metrics import (
+    CampaignProgress,
+    QuarantinedShard,
+    ShardFailure,
+    ShardTiming,
+    StudyMetrics,
+)
 from repro.measure.ping import Pinger
 from repro.measure.reachability import PublicVantagePoint
 from repro.measure.sink import (
@@ -40,17 +49,24 @@ from repro.measure.traceroute import (
 __all__ = [
     "AliasResolver",
     "CallbackSink",
+    "CampaignCheckpoint",
     "CampaignProgress",
     "CampaignStats",
+    "CheckpointStore",
     "CloudMembership",
     "CollectorSink",
     "FanoutSink",
+    "FaultPlan",
     "GAP_LIMIT",
+    "InjectedWorkerCrash",
     "Pinger",
     "ProbeCampaign",
     "ProbeSink",
     "PublicVantagePoint",
+    "QuarantinedShard",
+    "RetryPolicy",
     "Shard",
+    "ShardFailure",
     "ShardTiming",
     "ShardedExecutor",
     "StatsSink",

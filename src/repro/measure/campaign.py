@@ -16,6 +16,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.net.ip import IPv4
+from repro.measure.checkpoint import CheckpointStore
+from repro.measure.executor import RetryPolicy
+from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress
 from repro.measure.sink import SinkLike
 from repro.measure.traceroute import Traceroute, TracerouteEngine
@@ -34,6 +37,9 @@ class CampaignStats:
     completed: int = 0
     left_cloud: int = 0
     gap_limited: int = 0
+    #: probes never delivered because their shard was quarantined.
+    lost_probes: int = 0
+    quarantined_shards: int = 0
     by_region: Dict[str, int] = field(default_factory=dict)
 
     def record(self, trace: Traceroute, left_cloud: bool) -> None:
@@ -45,6 +51,12 @@ class CampaignStats:
             self.gap_limited += 1
         if left_cloud:
             self.left_cloud += 1
+
+    @property
+    def completeness(self) -> float:
+        """Delivered / expected probes; < 1.0 after shard quarantine."""
+        expected = self.probes + self.lost_probes
+        return self.probes / expected if expected else 1.0
 
     @property
     def completed_fraction(self) -> float:
@@ -87,12 +99,19 @@ class ProbeCampaign:
         cloud: str = "amazon",
         regions: Optional[Sequence[str]] = None,
         workers: int = 1,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.world = world
         self.cloud = cloud
-        self.engine = engine or TracerouteEngine(world)
+        # A campaign built without an engine still honours the fault plan
+        # (observation faults live on the engine, transport faults on the
+        # executor); an explicit engine keeps its own plan.
+        self.engine = engine or TracerouteEngine(world, faults=faults)
         self.regions = list(regions or world.region_names(cloud))
         self.workers = max(1, workers)
+        self.faults = faults if faults is not None else self.engine.faults
+        self.retry = retry
         self.membership = CloudMembership(world, cloud)
 
     # ------------------------------------------------------------------
@@ -108,13 +127,16 @@ class ProbeCampaign:
         regions: Optional[Sequence[str]] = None,
         workers: Optional[int] = None,
         progress: Optional[CampaignProgress] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_label: str = "campaign",
     ) -> CampaignStats:
         """Probe every target from every region, streaming to ``sink``.
 
         ``targets`` may be any iterable; it is materialized exactly once.
         With ``workers > 1`` shards run on a process pool, but the merged
         trace stream (and therefore everything downstream) is identical
-        to the serial run.
+        to the serial run -- including under an injected fault plan with
+        retries, and across a checkpoint kill/resume.
         """
         from repro.measure.executor import ShardedExecutor
 
@@ -125,6 +147,8 @@ class ProbeCampaign:
             self.membership,
             cloud=self.cloud,
             workers=self.workers if workers is None else workers,
+            faults=self.faults,
+            retry=self.retry,
         )
         executor.run(
             targets,
@@ -132,6 +156,8 @@ class ProbeCampaign:
             stats,
             regions=list(regions or self.regions),
             progress=progress,
+            checkpoint_store=checkpoint_store,
+            checkpoint_label=checkpoint_label,
         )
         return stats
 
@@ -148,9 +174,16 @@ class ProbeCampaign:
         stats: Optional[CampaignStats] = None,
         workers: Optional[int] = None,
         progress: Optional[CampaignProgress] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> CampaignStats:
         return self.run(
-            self.round1_targets(), sink, stats, workers=workers, progress=progress
+            self.round1_targets(),
+            sink,
+            stats,
+            workers=workers,
+            progress=progress,
+            checkpoint_store=checkpoint_store,
+            checkpoint_label="round1",
         )
 
     # ------------------------------------------------------------------
@@ -188,6 +221,7 @@ class ProbeCampaign:
         stride: int = 1,
         workers: Optional[int] = None,
         progress: Optional[CampaignProgress] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ) -> CampaignStats:
         return self.run(
             self.expansion_targets(cbi_ips, stride),
@@ -195,6 +229,8 @@ class ProbeCampaign:
             stats,
             workers=workers,
             progress=progress,
+            checkpoint_store=checkpoint_store,
+            checkpoint_label="round2",
         )
 
 

@@ -1,0 +1,133 @@
+"""Crash-resilient campaign checkpoints.
+
+A weeks-long sweep (§3) must survive the driver being killed.  The
+executor appends every completed shard -- in its compact wire format --
+to a JSON-lines journal as soon as it merges; a restarted run replays
+finished shards from disk and re-probes only the rest.  Because a shard's
+traces are a pure function of ``(engine seed, cloud, region, dst)`` plus
+the observation-fault plan, the replayed stream is bit-identical to what
+a clean uninterrupted run would have produced.
+
+Layout: one ``<label>.jsonl`` file per campaign under the checkpoint
+directory.  The first line is a header carrying a *fingerprint* of the
+campaign identity (cloud, seed, regions, targets, shard size, and the
+observation-fault signature); every following line is one completed
+shard.  A journal whose fingerprint does not match the new run -- e.g.
+round-2 targets changed because round 1 found different CBIs -- is
+discarded rather than trusted.  A torn final line (the process died
+mid-write) is silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+_FORMAT_VERSION = 1
+
+
+def _safe_filename(label: str) -> str:
+    """``vpi:google`` -> ``vpi_google`` (filesystem-safe, collision-poor)."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", label) or "campaign"
+
+
+class CampaignCheckpoint:
+    """The shard journal of one campaign.
+
+    ``get``/``put`` speak the executor's packed wire format (see
+    ``executor._pack_result``); the journal never holds live objects.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: str, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._shards: Dict[int, list] = {}
+        self.stale = False  # an existing journal was discarded
+        if resume:
+            self._load()
+        elif self.path.exists():
+            self.path.unlink()
+        if not self._has_header():
+            self._write_header()
+
+    # ------------------------------------------------------------------
+
+    def _has_header(self) -> bool:
+        return self.path.exists() and self.path.stat().st_size > 0
+
+    def _write_header(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as fh:
+            json.dump(
+                {"version": _FORMAT_VERSION, "fingerprint": self.fingerprint},
+                fh,
+            )
+            fh.write("\n")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("version") != _FORMAT_VERSION
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            # A different campaign (or format) wrote this journal: the
+            # stored shards would not match this run's plan.  Start over.
+            self.stale = True
+            self.path.unlink()
+            return
+        for line in lines[1:]:
+            try:
+                row = json.loads(line)
+            except ValueError:
+                break  # torn final write; everything before it is good
+            if isinstance(row, dict) and "shard" in row and "packed" in row:
+                self._shards[int(row["shard"])] = row["packed"]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed_shards(self) -> int:
+        return len(self._shards)
+
+    def has(self, shard_index: int) -> bool:
+        return shard_index in self._shards
+
+    def get(self, shard_index: int) -> Optional[list]:
+        return self._shards.get(shard_index)
+
+    def put(self, shard_index: int, packed: object) -> None:
+        """Journal one completed shard (append + flush, torn-write safe)."""
+        if shard_index in self._shards:
+            return
+        with open(self.path, "a") as fh:
+            json.dump({"shard": shard_index, "packed": packed}, fh)
+            fh.write("\n")
+            fh.flush()
+        self._shards[shard_index] = packed  # type: ignore[assignment]
+
+
+class CheckpointStore:
+    """A directory of per-campaign journals for one study run."""
+
+    def __init__(self, root: Union[str, Path], resume: bool = False) -> None:
+        self.root = Path(root)
+        self.resume = resume
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def campaign(self, label: str, fingerprint: str) -> CampaignCheckpoint:
+        path = self.root / (_safe_filename(label) + ".jsonl")
+        return CampaignCheckpoint(path, fingerprint, resume=self.resume)

@@ -17,23 +17,43 @@ count:
   ``TracerouteEngine.probe_rng`` -- so a trace does not depend on how many
   probes ran before it in the same process;
 * shards are enumerated region-major over the exact serial iteration
-  order, and ``Pool.imap`` yields results in submission order, so the
-  merged stream equals the serial stream.
+  order and merged in that order, so the merged stream equals the serial
+  stream.
+
+At campaign scale, failure is routine, so the executor is resilient:
+
+* each shard attempt is bounded by :class:`RetryPolicy` -- a per-shard
+  timeout, then bounded retries with exponential backoff (a pool-side
+  failure retries *inline* in the parent, which always makes progress);
+* a shard that exhausts its retries is **quarantined**: its probes are
+  reported lost (``CampaignStats.lost_probes``, progress completeness)
+  and the campaign degrades gracefully instead of dying;
+* with a :class:`~repro.measure.checkpoint.CampaignCheckpoint`, every
+  completed shard is journalled to disk, and a killed run restarts
+  without re-probing finished shards.
+
+Because a shard's traces are a pure function of the probe key (plus the
+observation-fault plan), none of this changes the merged stream: a run
+with injected crashes, timeouts, or a checkpoint resume produces the same
+results as a clean serial run once every shard eventually succeeds.
 
 Workers rebuild their ``TracerouteEngine`` from the pickled world plus the
-engine seed in the pool initializer; no live engine state ever crosses the
-process boundary.
+engine seed and fault plan in the pool initializer; no live engine state
+ever crosses the process boundary.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.measure.metrics import CampaignProgress, ShardTiming
+from repro.measure.checkpoint import CampaignCheckpoint, CheckpointStore
+from repro.measure.faults import FaultPlan
+from repro.measure.metrics import CampaignProgress, QuarantinedShard, ShardTiming
 from repro.measure.sink import ProbeSink, SinkLike, as_sink, close_sink
 from repro.measure.traceroute import TraceHop, Traceroute, TracerouteEngine
 from repro.net.ip import IPv4
@@ -62,6 +82,43 @@ class ShardResult:
     seconds: float
     #: ``(trace, left_cloud)`` per target, in the shard's target order.
     items: List[Tuple[Traceroute, bool]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on how hard the executor fights for each shard."""
+
+    #: seconds to wait for a pooled shard before retrying inline;
+    #: ``None`` waits forever (the pre-resilience behaviour).
+    shard_timeout: Optional[float] = None
+    #: attempts beyond the first before the shard is quarantined.
+    max_retries: int = 2
+    #: first backoff sleep; doubles per retry up to ``backoff_cap_s``.
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be > 0, got {self.shard_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Exponential backoff before retry ``attempt`` (1-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** max(0, attempt - 1)),
+        )
 
 
 def default_shard_size(n_targets: int, workers: int) -> int:
@@ -97,30 +154,43 @@ def plan_shards(
 
 # ----------------------------------------------------------------------
 # Worker side.  Globals are (re)built once per worker process by the pool
-# initializer; only the world, cloud name, and engine seed cross the
-# process boundary.
+# initializer; only the world, cloud name, engine seed, and fault plan
+# cross the process boundary.
 # ----------------------------------------------------------------------
 
-_WORKER_STATE: Optional[Tuple[TracerouteEngine, "object", str]] = None
+_WORKER_STATE: Optional[Tuple[TracerouteEngine, "object", str, Optional[FaultPlan]]] = None
 
 
-def _init_worker(world: World, cloud: str, seed: int) -> None:
+def _init_worker(
+    world: World,
+    cloud: str,
+    seed: int,
+    engine_faults: Optional[FaultPlan] = None,
+    transport_faults: Optional[FaultPlan] = None,
+) -> None:
     from repro.measure.campaign import CloudMembership
 
     global _WORKER_STATE
-    engine = TracerouteEngine(world, seed=seed)
-    _WORKER_STATE = (engine, CloudMembership(world, cloud), cloud)
+    # Observation faults belong to the engine (they shape trace content
+    # exactly as the parent's engine would); transport faults belong to
+    # the shard attempt.  Keeping them separate guarantees worker-built
+    # engines match the serial engine even when only one side is set.
+    engine = TracerouteEngine(world, seed=seed, faults=engine_faults)
+    _WORKER_STATE = (engine, CloudMembership(world, cloud), cloud, transport_faults)
 
 
-def _trace_shard_in_worker(shard: Shard) -> tuple:
+def _trace_shard_in_worker(shard: Shard, attempt: int = 0) -> tuple:
     assert _WORKER_STATE is not None, "pool initializer did not run"
-    engine, membership, cloud = _WORKER_STATE
-    return _pack_result(trace_shard(engine, membership, cloud, shard))
+    engine, membership, cloud, faults = _WORKER_STATE
+    return _pack_result(
+        trace_shard(engine, membership, cloud, shard, faults=faults, attempt=attempt)
+    )
 
 
 def _pack_result(result: ShardResult) -> tuple:
     """Compact wire format: tuples pickle ~2x smaller and faster than the
-    trace dataclasses, which matters at millions of probes per round."""
+    trace dataclasses, which matters at millions of probes per round.
+    The same format is JSON-safe, so checkpoints journal it verbatim."""
     return (
         result.index,
         result.region,
@@ -137,7 +207,7 @@ def _pack_result(result: ShardResult) -> tuple:
     )
 
 
-def _unpack_result(packed: tuple, cloud: str) -> ShardResult:
+def _unpack_result(packed: Sequence, cloud: str) -> ShardResult:
     index, region, seconds, rows = packed
     items = [
         (
@@ -156,9 +226,24 @@ def _unpack_result(packed: tuple, cloud: str) -> ShardResult:
 
 
 def trace_shard(
-    engine: TracerouteEngine, membership, cloud: str, shard: Shard
+    engine: TracerouteEngine,
+    membership,
+    cloud: str,
+    shard: Shard,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 0,
 ) -> ShardResult:
-    """Trace every target of ``shard``; shared by serial and pool paths."""
+    """Trace every target of ``shard``; shared by serial and pool paths.
+
+    Transport faults fire here -- an injected crash raises before any
+    tracing, a slow shard sleeps -- so serial runs, pooled first
+    attempts, and inline retries all see one fault schedule.
+    """
+    if faults is not None:
+        faults.raise_if_crashed(shard.index, attempt)
+        delay = faults.slow_delay(shard.index)
+        if delay > 0:
+            time.sleep(delay)
     t0 = time.perf_counter()
     items: List[Tuple[Traceroute, bool]] = []
     for dst in shard.targets:
@@ -179,8 +264,9 @@ class ShardedExecutor:
     """Runs a campaign's probe matrix over a worker pool (or inline).
 
     ``workers <= 1`` executes the same shard plan in-process, so the two
-    paths share one code path for ordering, stats, and progress -- the
-    parallel run differs only in *where* shards are traced.
+    paths share one code path for ordering, stats, progress, retries, and
+    checkpoints -- the parallel run differs only in *where* a shard's
+    first attempt is traced.
     """
 
     def __init__(
@@ -191,6 +277,8 @@ class ShardedExecutor:
         cloud: str = "amazon",
         workers: int = 1,
         shard_size: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.world = world
         self.engine = engine
@@ -198,6 +286,8 @@ class ShardedExecutor:
         self.cloud = cloud
         self.workers = max(1, workers)
         self.shard_size = shard_size
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
 
     # ------------------------------------------------------------------
 
@@ -208,11 +298,15 @@ class ShardedExecutor:
         stats,
         regions: Sequence[str],
         progress: Optional[CampaignProgress] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_label: str = "campaign",
     ) -> None:
         """Trace ``regions x targets`` and stream merged results to ``sink``.
 
         ``stats`` is a ``CampaignStats`` updated in merge order; the sink's
-        optional ``close()`` fires after the last trace.
+        optional ``close()`` fires after the last trace.  With a
+        ``checkpoint_store``, completed shards are journalled under
+        ``checkpoint_label`` and replayed on the next run.
         """
         target_list = (
             targets if isinstance(targets, (list, tuple)) else list(targets)
@@ -222,6 +316,12 @@ class ShardedExecutor:
             len(target_list), self.workers
         )
         shards = plan_shards(regions, target_list, shard_size)
+        checkpoint: Optional[CampaignCheckpoint] = None
+        if checkpoint_store is not None:
+            checkpoint = checkpoint_store.campaign(
+                checkpoint_label,
+                self._fingerprint(regions, target_list, shard_size),
+            )
         if progress is not None:
             progress.start(
                 expected_probes=len(target_list) * len(regions),
@@ -230,30 +330,44 @@ class ShardedExecutor:
             )
         try:
             if self.workers <= 1 or len(shards) <= 1:
-                results: Iterator[ShardResult] = (
-                    trace_shard(self.engine, self.membership, self.cloud, s)
+                pairs = (
+                    (s, self._run_shard(s, None, checkpoint, progress))
                     for s in shards
                 )
-                self._merge(results, probe_sink, stats, progress)
+                self._merge(pairs, probe_sink, stats, progress)
             else:
                 ctx = _pool_context()
                 pool = ctx.Pool(
                     processes=min(self.workers, len(shards)),
                     initializer=_init_worker,
-                    initargs=(self.world, self.cloud, self.engine.seed),
+                    initargs=(
+                        self.world,
+                        self.cloud,
+                        self.engine.seed,
+                        self.engine.faults,
+                        self.faults,
+                    ),
                 )
                 try:
-                    self._merge(
+                    pending = {
+                        s.index: pool.apply_async(
+                            _trace_shard_in_worker, (s, 0)
+                        )
+                        for s in shards
+                        if checkpoint is None or not checkpoint.has(s.index)
+                    }
+                    pairs = (
                         (
-                            _unpack_result(packed, self.cloud)
-                            for packed in pool.imap(_trace_shard_in_worker, shards)
-                        ),
-                        probe_sink,
-                        stats,
-                        progress,
+                            s,
+                            self._run_shard(
+                                s, pending.get(s.index), checkpoint, progress
+                            ),
+                        )
+                        for s in shards
                     )
+                    self._merge(pairs, probe_sink, stats, progress)
                 finally:
-                    pool.close()
+                    pool.terminate()
                     pool.join()
         finally:
             if progress is not None:
@@ -262,15 +376,115 @@ class ShardedExecutor:
 
     # ------------------------------------------------------------------
 
+    def _fingerprint(
+        self,
+        regions: Sequence[str],
+        targets: Sequence[IPv4],
+        shard_size: int,
+    ) -> str:
+        """Identity of this campaign's shard plan and trace content.
+
+        Transport faults are deliberately excluded (they never change a
+        completed shard's traces); observation faults are included via
+        ``FaultPlan.probe_signature``.
+        """
+        engine_faults = self.engine.faults
+        probe_sig = (
+            engine_faults.probe_signature()
+            if engine_faults is not None
+            else "clean"
+        )
+        h = hashlib.sha256()
+        h.update(
+            repr(
+                (
+                    "campaign-v1",
+                    self.cloud,
+                    self.engine.seed,
+                    tuple(regions),
+                    shard_size,
+                    len(targets),
+                    probe_sig,
+                )
+            ).encode()
+        )
+        for dst in targets:
+            h.update(dst.to_bytes(4, "big"))
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+
+    def _run_shard(
+        self,
+        shard: Shard,
+        handle,
+        checkpoint: Optional[CampaignCheckpoint],
+        progress: Optional[CampaignProgress],
+    ) -> Optional[ShardResult]:
+        """One shard through resume -> attempt -> retry -> quarantine.
+
+        Returns ``None`` only when the shard is quarantined; the merge
+        then accounts for the lost probes instead of crashing the run.
+        """
+        if checkpoint is not None:
+            stored = checkpoint.get(shard.index)
+            if stored is not None:
+                if progress is not None:
+                    progress.note_resumed(shard.index)
+                return _unpack_result(stored, self.cloud)
+        attempt = 0
+        while True:
+            try:
+                if handle is not None and attempt == 0:
+                    packed = handle.get(timeout=self.retry.shard_timeout)
+                    result = _unpack_result(packed, self.cloud)
+                else:
+                    result = trace_shard(
+                        self.engine,
+                        self.membership,
+                        self.cloud,
+                        shard,
+                        faults=self.faults,
+                        attempt=attempt,
+                    )
+            except Exception as exc:  # worker crash, timeout, injected fault
+                attempt += 1
+                if progress is not None:
+                    progress.note_failure(shard.index, _describe_error(exc))
+                if attempt > self.retry.max_retries:
+                    if progress is not None:
+                        progress.note_quarantine(
+                            QuarantinedShard(
+                                index=shard.index,
+                                region=shard.region,
+                                probes=len(shard.targets),
+                                error=_describe_error(exc),
+                            )
+                        )
+                    return None
+                backoff = self.retry.backoff_seconds(attempt)
+                if backoff > 0:
+                    time.sleep(backoff)
+                continue
+            if checkpoint is not None:
+                checkpoint.put(shard.index, _pack_result(result))
+            return result
+
+    # ------------------------------------------------------------------
+
     @staticmethod
     def _merge(
-        results: Iterator[ShardResult],
+        pairs: Iterator[Tuple[Shard, Optional[ShardResult]]],
         sink: ProbeSink,
         stats,
         progress: Optional[CampaignProgress],
     ) -> None:
         """Consume shard results in submission order -- the serial order."""
-        for result in results:
+        for shard, result in pairs:
+            if result is None:  # quarantined: degrade, don't die
+                stats.lost_probes += len(shard.targets)
+                stats.quarantined_shards += 1
+                continue
             for trace, left_cloud in result.items:
                 stats.record(trace, left_cloud)
                 sink.consume(trace)
@@ -283,6 +497,12 @@ class ShardedExecutor:
                         seconds=result.seconds,
                     )
                 )
+
+
+def _describe_error(exc: Exception) -> str:
+    if isinstance(exc, multiprocessing.TimeoutError):
+        return "shard timeout"
+    return f"{type(exc).__name__}: {exc}"
 
 
 def _pool_context():

@@ -28,6 +28,24 @@ class ShardTiming:
     seconds: float
 
 
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard attempt (crash, timeout, or injected fault)."""
+
+    index: int
+    error: str
+
+
+@dataclass(frozen=True)
+class QuarantinedShard:
+    """A shard that exhausted its retries; its probes are lost."""
+
+    index: int
+    region: str
+    probes: int
+    error: str
+
+
 #: Callback fired after every merged shard (used by ``--progress``).
 ProgressCallback = Callable[["CampaignProgress", ShardTiming], None]
 
@@ -43,6 +61,12 @@ class CampaignProgress:
     probes: int = 0
     by_region: Dict[str, int] = field(default_factory=dict)
     shard_timings: List[ShardTiming] = field(default_factory=list)
+    #: failed shard attempts, in the order the executor observed them.
+    failures: List[ShardFailure] = field(default_factory=list)
+    #: shards abandoned after exhausting their retries.
+    quarantined: List[QuarantinedShard] = field(default_factory=list)
+    #: shards replayed from a checkpoint instead of re-probed.
+    resumed_shards: int = 0
     callback: Optional[ProgressCallback] = None
     _started: Optional[float] = None
     _finished: Optional[float] = None
@@ -64,6 +88,15 @@ class CampaignProgress:
         self.shard_timings.append(timing)
         if self.callback is not None:
             self.callback(self, timing)
+
+    def note_failure(self, shard_index: int, error: str) -> None:
+        self.failures.append(ShardFailure(index=shard_index, error=error))
+
+    def note_quarantine(self, shard: QuarantinedShard) -> None:
+        self.quarantined.append(shard)
+
+    def note_resumed(self, shard_index: int) -> None:
+        self.resumed_shards += 1
 
     def finish(self) -> None:
         self._finished = time.perf_counter()
@@ -100,8 +133,25 @@ class CampaignProgress:
             return 0.0
         return max(t.seconds for t in self.shard_timings)
 
+    @property
+    def lost_probes(self) -> int:
+        """Probes never delivered because their shard was quarantined."""
+        return sum(q.probes for q in self.quarantined)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were retried (not final quarantines)."""
+        return len(self.failures) - len(self.quarantined)
+
+    @property
+    def completeness(self) -> float:
+        """Delivered / expected probes; < 1.0 after any quarantine."""
+        if not self.expected_probes:
+            return 1.0
+        return self.probes / self.expected_probes
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.label}: {self.probes} probes in {self.elapsed_seconds:.1f}s "
             f"({self.probes_per_second:.0f}/s) over "
             f"{len(self.shard_timings)} shards x {self.workers} worker(s); "
@@ -109,6 +159,14 @@ class CampaignProgress:
             f"mean {self.mean_shard_seconds * 1000:.0f}ms / "
             f"max {self.max_shard_seconds * 1000:.0f}ms"
         )
+        if self.failures or self.quarantined or self.resumed_shards:
+            text += (
+                f"; resilience: {len(self.failures)} failed attempt(s), "
+                f"{len(self.quarantined)} quarantined, "
+                f"{self.resumed_shards} resumed, "
+                f"completeness {self.completeness * 100:.1f}%"
+            )
+        return text
 
 
 class StudyMetrics:
@@ -146,3 +204,29 @@ class StudyMetrics:
     @property
     def total_seconds(self) -> float:
         return sum(self.stages.values())
+
+    # --- resilience rollups -------------------------------------------
+
+    def completeness(self) -> Dict[str, float]:
+        """Per-campaign delivered/expected ratio (1.0 = nothing lost)."""
+        return {
+            label: progress.completeness
+            for label, progress in self.campaigns.items()
+        }
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(p.failures) for p in self.campaigns.values())
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(len(p.quarantined) for p in self.campaigns.values())
+
+    @property
+    def total_resumed(self) -> int:
+        return sum(p.resumed_shards for p in self.campaigns.values())
+
+    @property
+    def degraded(self) -> bool:
+        """True when any campaign delivered less than it expected."""
+        return any(p.completeness < 1.0 for p in self.campaigns.values())

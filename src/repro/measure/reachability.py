@@ -9,18 +9,28 @@ that observable.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.net.ip import IPv4
 from repro.world.model import World
 
 
 class PublicVantagePoint:
-    """Probes interfaces from outside all clouds."""
+    """Probes interfaces from outside all clouds.
 
-    def __init__(self, world: World, seed: int = 0, loss_rate: float = 0.01) -> None:
+    Probe loss defaults to the world's single
+    ``WorldConfig.probe_loss_rate`` knob -- the same one the traceroute
+    engine draws from -- so the whole measurement plane shares one loss
+    model; pass ``loss_rate`` explicitly to override (e.g. 0.0 in tests).
+    """
+
+    def __init__(
+        self, world: World, seed: int = 0, loss_rate: Optional[float] = None
+    ) -> None:
         self.world = world
-        self.loss_rate = loss_rate
+        self.loss_rate = (
+            world.config.probe_loss_rate if loss_rate is None else loss_rate
+        )
         self._rng = random.Random(repr(("public-vp", seed)))
         self._cache: Dict[IPv4, bool] = {}
 

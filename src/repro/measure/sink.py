@@ -106,3 +106,15 @@ class CollectorSink:
 
     def consume(self, trace: Traceroute) -> None:
         self.traces.append(trace)
+
+
+class NullSink:
+    """Discard every trace.
+
+    Useful when a campaign is run only for its side effects -- warming a
+    checkpoint journal, smoke-testing the executor under a fault plan --
+    and the traces themselves are not needed.
+    """
+
+    def consume(self, trace: Traceroute) -> None:
+        pass

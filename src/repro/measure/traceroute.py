@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.net.ip import IPv4
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.measure.faults import FaultPlan
 from repro.world.entities import RouterRole
 from repro.world.model import PathPlan, World
 
@@ -70,10 +73,21 @@ class Traceroute:
 class TracerouteEngine:
     """Executes probes against a :class:`World`."""
 
-    def __init__(self, world: World, seed: int = 0) -> None:
+    def __init__(
+        self,
+        world: World,
+        seed: int = 0,
+        faults: Optional["FaultPlan"] = None,
+    ) -> None:
         self.world = world
         self.config = world.config
         self.seed = seed
+        self.faults = faults
+        # Only observation faults matter here; transport faults (crashes,
+        # slow shards) are the executor's business.
+        self._probe_faults = (
+            faults if faults is not None and faults.affects_probes else None
+        )
         self._rng = random.Random(repr(("traceroute", seed)))
         # Pre-fetch per-router data the hot loop needs.
         self._router_role = {
@@ -129,6 +143,7 @@ class TracerouteEngine:
         prev_metro = region_metro
         seen_ips: List[IPv4] = []
         loop_injected = rng.random() < cfg.loop_rate
+        faults = self._probe_faults
 
         for hop in plan.hops:
             ttl += 1
@@ -140,6 +155,15 @@ class TracerouteEngine:
                 and rng.random() < hop.responsiveness
                 and rng.random() >= cfg.probe_loss_rate
             )
+            # Injected loss / rate-limit windows draw from their own pure
+            # hash (never ``rng``), so the base noise stream -- and with
+            # it every fault-free hop -- matches the clean run exactly.
+            if (
+                responds
+                and faults is not None
+                and faults.hop_suppressed(cloud, region, plan.dest_ip, ttl)
+            ):
+                responds = False
             if not responds:
                 hops.append(TraceHop(ttl=ttl, ip=None, rtt_ms=None))
                 gap += 1
@@ -160,7 +184,14 @@ class TracerouteEngine:
             hops.append(TraceHop(ttl=ttl, ip=ip, rtt_ms=rtt))
             seen_ips.append(ip)
 
-        if plan.dest_responds and rng.random() >= cfg.probe_loss_rate:
+        dest_responds = plan.dest_responds and rng.random() >= cfg.probe_loss_rate
+        if (
+            dest_responds
+            and faults is not None
+            and faults.hop_suppressed(cloud, region, plan.dest_ip, ttl + 1)
+        ):
+            dest_responds = False
+        if dest_responds:
             ttl += 1
             rtt = cum_rtt + cfg.hop_processing_ms * ttl + rng.expovariate(
                 1.0 / max(cfg.ping_jitter_ms, 1e-6)

@@ -1,0 +1,143 @@
+"""Golden-snapshot regression test for the end-to-end study.
+
+``tests/data/golden_study.json`` pins the sha256 content digest (census
+counts, campaign yields, ABI/CBI sets, segments, alias sets, VPI
+intersections -- see ``StudyResult.digest_inputs``) of a tiny-scale study.
+Every run here must reproduce that digest bit-for-bit:
+
+* a clean serial run (the reference),
+* parallel runs at workers = 2 and 4,
+* a run under an injected transport-fault plan with retries,
+* a run degraded by a poisoned shard, then killed and ``--resume``-d
+  from its checkpoint journal under a clean plan.
+
+If an intentional change to the world model or inference shifts these
+outputs, regenerate the snapshot (the ``world``/``config`` keys in the
+JSON say exactly how to rebuild it) and account for the diff in review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    AmazonPeeringStudy,
+    FaultPlan,
+    StudyConfig,
+    WorldConfig,
+    build_world,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_study.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def golden_world(golden, tiny_world):
+    spec = golden["world"]
+    # The session fixture is the same world; assert rather than rebuild.
+    assert (tiny_world.config.scale, tiny_world.config.seed) == (
+        spec["scale"],
+        spec["seed"],
+    ), "tiny_world fixture drifted from the golden snapshot spec"
+    return tiny_world
+
+
+def _config(golden, **overrides):
+    base = golden["config"]
+    return StudyConfig(
+        seed=base["seed"],
+        expansion_stride=base["expansion_stride"],
+        run_vpi=base["run_vpi"],
+        run_crossval=base["run_crossval"],
+        **overrides,
+    )
+
+
+def test_snapshot_is_regenerable(golden):
+    """The committed spec must rebuild the committed world."""
+    world = build_world(
+        WorldConfig(scale=golden["world"]["scale"], seed=golden["world"]["seed"])
+    )
+    assert len(world.client_ases) > 0
+
+
+def test_serial_run_matches_golden(golden, golden_world):
+    result = AmazonPeeringStudy(golden_world, _config(golden)).run()
+    summary = golden["summary"]
+    assert len(result.abis) == summary["abis"]
+    assert len(result.cbis) == summary["cbis"]
+    assert len(result.final_segments) == summary["segments"]
+    assert len(result.alias_sets) == summary["alias_sets"]
+    assert result.peer_ases_round2 == summary["peer_ases_round2"]
+    assert result.round1_stats.probes == summary["round1_probes"]
+    assert result.round2_stats.probes == summary["round2_probes"]
+    assert result.vpi.pool_size == summary["vpi_pool_size"]
+    assert result.vpi.amazon_cbis == summary["vpi_amazon_cbis"]
+    assert result.digest() == golden["digest"]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_run_matches_golden(golden, golden_world, workers):
+    result = AmazonPeeringStudy(
+        golden_world, _config(golden, workers=workers)
+    ).run()
+    assert result.digest() == golden["digest"]
+
+
+def test_fault_injected_run_matches_golden(golden, golden_world):
+    plan = FaultPlan(seed=5, crash_rate=0.3, crash_attempts=1,
+                     slow_rate=0.1, slow_seconds=0.02)
+    result = AmazonPeeringStudy(
+        golden_world,
+        _config(golden, workers=2, fault_plan=plan, retry_backoff_s=0.0),
+    ).run()
+    assert result.digest() == golden["digest"]
+    assert result.metrics.total_failures > 0, "the fault plan never fired"
+    assert result.metrics.total_quarantined == 0
+    assert not result.metrics.degraded
+
+
+def test_quarantined_then_resumed_run_matches_golden(
+    golden, golden_world, tmp_path
+):
+    checkpoint_dir = str(tmp_path / "ckpt")
+    # First run: shard 0 of every campaign is poisoned, so the study
+    # degrades (lost probes, completeness < 1) but still completes --
+    # journalling every healthy shard along the way.
+    degraded = AmazonPeeringStudy(
+        golden_world,
+        _config(
+            golden,
+            fault_plan=FaultPlan(poison_shards=(0,)),
+            max_retries=0,
+            retry_backoff_s=0.0,
+            checkpoint_dir=checkpoint_dir,
+        ),
+    ).run()
+    assert degraded.metrics.degraded
+    assert degraded.metrics.total_quarantined > 0
+    assert degraded.round1_stats.lost_probes > 0
+    assert degraded.round1_stats.completeness < 1.0
+    assert degraded.digest() != golden["digest"]
+
+    # Second run: same campaign identity, clean plan, --resume.  Healthy
+    # shards replay from the journal; the quarantined shard (and any
+    # campaign whose targets shifted in the degraded run) is re-probed.
+    # The merged result must be bit-identical to the clean serial run.
+    resumed = AmazonPeeringStudy(
+        golden_world,
+        _config(golden, checkpoint_dir=checkpoint_dir, resume=True),
+    ).run()
+    assert resumed.digest() == golden["digest"]
+    assert resumed.metrics.total_resumed > 0
+    assert not resumed.metrics.degraded
+    assert resumed.round1_stats.lost_probes == 0
