@@ -27,21 +27,25 @@ Quickstart::
     print(render_report(result))
 """
 
-from repro.analysis.report import render_report
+from repro.analysis.report import render_report, render_sensitivity
 from repro.core.config import StudyConfig
 from repro.core.pipeline import AmazonPeeringStudy
-from repro.core.results import StudyResult
+from repro.core.results import DataQualityReport, StudyResult
+from repro.datasets.datafaults import DataFaultPlan
+from repro.datasets.validate import validate_datasets
 from repro.measure.checkpoint import CheckpointStore
 from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
 from repro.world.build import WorldConfig, build_world
 from repro.world.model import World
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AmazonPeeringStudy",
     "CheckpointStore",
+    "DataFaultPlan",
+    "DataQualityReport",
     "FaultPlan",
     "RetryPolicy",
     "StudyConfig",
@@ -50,5 +54,7 @@ __all__ = [
     "WorldConfig",
     "build_world",
     "render_report",
+    "render_sensitivity",
+    "validate_datasets",
     "__version__",
 ]

@@ -55,6 +55,122 @@ def _render_resilience(result: StudyResult, add) -> None:
         )
 
 
+def _render_data_quality(result: StudyResult, add) -> None:
+    """Dataset-dirt block -- printed only when relevant.
+
+    Relevant means a data fault plan was configured or a confidence
+    floor was set; a pristine default run keeps the historical report
+    unchanged (clean worlds still have benign coverage gaps, which would
+    otherwise print noise on every run).
+    """
+    dq = result.data_quality
+    config = result.config
+    if dq is None or config is None:
+        return
+    if config.data_fault_plan is None and config.min_confidence <= 0.0:
+        return
+    add("data quality:")
+    if dq.fault_plan is not None:
+        add(f"  data fault plan: {dq.fault_plan.describe()}")
+    v = dq.validation
+    if v is not None:
+        add(
+            f"  dataset validation over {v.checked_prefixes} announced "
+            f"prefixes: {v.moas_prefixes} MOAS, "
+            f"{v.bgp_whois_mismatches} BGP-vs-WHOIS origin mismatches, "
+            f"{v.ixp_member_conflicts} IXP member conflicts"
+        )
+        add(
+            f"  coverage gaps: {v.whois_gaps} WHOIS gaps, "
+            f"{v.whois_nameonly} name-only records, "
+            f"{v.as2org_missing_asns} origin ASes missing from as2org"
+        )
+    add(
+        f"  annotation confidence over {dq.interfaces_scored} border "
+        f"interfaces: mean {dq.mean_confidence:.3f}"
+    )
+    if dq.disagreement_counts:
+        add(
+            "  annotation disagreements: "
+            + ", ".join(
+                f"{label}={count}"
+                for label, count in sorted(dq.disagreement_counts.items())
+            )
+        )
+    add(f"  disagreements: total {dq.total_disagreements}")
+    if config.min_confidence > 0.0:
+        add(
+            f"  flagged below min-confidence {config.min_confidence:g}: "
+            f"{len(dq.low_confidence_abis)} ABIs, "
+            f"{len(dq.low_confidence_cbis)} CBIs, "
+            f"{len(dq.low_confidence_pins)} pins"
+        )
+    if dq.degraded:
+        add(
+            "  WARNING: dataset sources disagree; flagged inferences are "
+            "counted but suspect"
+        )
+
+
+def render_sensitivity(clean: StudyResult, dirty: StudyResult) -> str:
+    """Paper-table deltas between a clean run and its dirty twin.
+
+    Both results must come from the same world and seed; the only
+    difference should be the dirty run's ``data_fault_plan`` (and
+    optionally its confidence floor).
+    """
+    lines: List[str] = []
+    add = lines.append
+    plan = dirty.config.data_fault_plan if dirty.config else None
+    add("sensitivity (clean -> dirty paper-table deltas):")
+    if plan is not None:
+        add(f"  dirty run plan: {plan.describe()}")
+    clean_rows = {row.label: row for row in clean.table1}
+    for row in dirty.table1:
+        base = clean_rows.get(row.label)
+        if base is None:
+            continue
+        add(
+            f"  Table1 {row.label}: total {base.total} -> {row.total} "
+            f"({row.total - base.total:+d}); "
+            f"BGP% {base.bgp_fraction * 100:.1f} -> {row.bgp_fraction * 100:.1f}; "
+            f"WHOIS% {base.whois_fraction * 100:.1f} -> {row.whois_fraction * 100:.1f}; "
+            f"IXP% {base.ixp_fraction * 100:.1f} -> {row.ixp_fraction * 100:.1f}"
+        )
+    add(
+        f"  peer ASes (r1/r2): {clean.peer_ases_round1}/{clean.peer_ases_round2}"
+        f" -> {dirty.peer_ases_round1}/{dirty.peer_ases_round2}"
+    )
+    add(
+        f"  final ABIs {len(clean.abis)} -> {len(dirty.abis)} "
+        f"({len(dirty.abis) - len(clean.abis):+d}); "
+        f"CBIs {len(clean.cbis)} -> {len(dirty.cbis)} "
+        f"({len(dirty.cbis) - len(clean.cbis):+d}); "
+        f"segments {len(clean.final_segments)} -> {len(dirty.final_segments)} "
+        f"({len(dirty.final_segments) - len(clean.final_segments):+d})"
+    )
+    add(
+        f"  metro pin coverage {clean.metro_pin_coverage * 100:.1f}% -> "
+        f"{dirty.metro_pin_coverage * 100:.1f}%; with regional fallback "
+        f"{clean.total_pin_coverage * 100:.1f}% -> "
+        f"{dirty.total_pin_coverage * 100:.1f}%"
+    )
+    if clean.grouping is not None and dirty.grouping is not None:
+        add(
+            f"  hidden peering fraction "
+            f"{clean.grouping.hidden_fraction() * 100:.1f}% -> "
+            f"{dirty.grouping.hidden_fraction() * 100:.1f}%"
+        )
+    add(
+        f"  BGP-visible peer recovery "
+        f"{clean.bgp_recovery_fraction * 100:.0f}% -> "
+        f"{dirty.bgp_recovery_fraction * 100:.0f}%"
+    )
+    same = clean.digest() == dirty.digest()
+    add(f"  digest: {'identical (plan injected nothing)' if same else 'diverged, as expected'}")
+    return "\n".join(lines)
+
+
 def render_report(
     result: StudyResult,
     relationships: Optional[ASRelationships] = None,
@@ -247,6 +363,7 @@ def render_report(
         for progress in result.metrics.campaigns.values():
             add("  " + progress.summary())
     _render_resilience(result, add)
+    _render_data_quality(result, add)
     if result.config is not None:
         add(
             "config: "

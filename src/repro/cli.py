@@ -13,10 +13,11 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.analysis.report import render_report
+from repro.analysis.report import render_report, render_sensitivity
 from repro.core.config import StudyConfig
 from repro.core.evaluation import evaluate_study
 from repro.core.pipeline import AmazonPeeringStudy
+from repro.datasets.datafaults import DataFaultPlan
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress, ShardTiming
 from repro.world.build import WorldConfig, build_world
@@ -58,6 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "can restart without re-probing them")
     parser.add_argument("--resume", action="store_true",
                         help="replay finished shards from --checkpoint-dir")
+    parser.add_argument("--data-fault-plan", type=str, default=None,
+                        metavar="SPEC",
+                        help="degrade the dataset views deterministically, e.g. "
+                             "'bgp-stale=0.1,moas=0.05,as2org-drop=0.1,"
+                             "ixp-drop=0.2,ixp-conflict=0.1,whois-gap=0.2,"
+                             "whois-nameonly=0.3,seed=1'")
+    parser.add_argument("--min-confidence", type=float, default=0.0,
+                        metavar="C",
+                        help="flag CBIs/ABIs/pins whose annotation confidence "
+                             "falls below C in the data-quality block "
+                             "(default 0 = no flagging)")
+    parser.add_argument("--sensitivity", action="store_true",
+                        help="also run a clean twin of the study and print "
+                             "paper-table deltas (requires --data-fault-plan)")
     parser.add_argument("--digest", action="store_true",
                         help="print the result's sha256 content digest "
                              "(identical across workers/faults/resume)")
@@ -96,6 +111,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_plan = (
             FaultPlan.parse(args.fault_plan) if args.fault_plan else None
         )
+        data_fault_plan = (
+            DataFaultPlan.parse(args.data_fault_plan)
+            if args.data_fault_plan
+            else None
+        )
+        if args.sensitivity and data_fault_plan is None:
+            raise ValueError("--sensitivity requires --data-fault-plan")
         config = StudyConfig(
             scale=args.scale,
             seed=args.seed,
@@ -109,6 +131,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_retries=args.max_retries,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            data_fault_plan=data_fault_plan,
+            min_confidence=args.min_confidence,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -133,6 +157,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(render_report(result, study.relationships))
     if args.digest:
         print(f"study digest: {result.digest()}")
+
+    if args.sensitivity:
+        print("running the clean twin for the sensitivity report...",
+              file=sys.stderr)
+        clean_config = config.replace(
+            data_fault_plan=None,
+            min_confidence=0.0,
+            checkpoint_dir=None,
+            resume=False,
+        )
+        clean_result = AmazonPeeringStudy(world, clean_config).run()
+        print()
+        print(render_sensitivity(clean_result, result))
 
     if args.with_bdrmap:
         from repro.bdrmap import BdrmapEngine, compare

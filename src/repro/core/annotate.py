@@ -1,12 +1,24 @@
 """Hop annotation: ASN, organization, and IXP membership (§3).
 
-Every observed hop address is annotated with
+Every observed hop address is annotated by walking an explicit **fallback
+chain** over the public datasets:
 
-* its origin **ASN** from the round's BGP snapshot, falling back to WHOIS
-  for public-but-unannounced space, and AS0 for private/shared space;
-* its **ORG** from the as2org dataset (so Amazon's eight sibling ASNs
-  collapse into one organization);
-* whether it belongs to an **IXP prefix** (PeeringDB + PCH + CAIDA merge).
+1. **IXP** membership (PeeringDB + PCH + CAIDA merge) -- an address on a
+   peering LAN belongs to a specific member;
+2. **private/shared** space -- unmappable by construction;
+3. **BGP** longest-prefix match against the round's snapshot;
+4. **WHOIS** for public-but-unannounced space (the paper's 7%), first for
+   a registered ASN, then for a name-only record;
+5. **none** -- nothing knows the address.
+
+The chain records its *provenance*: which sources were consulted, which
+disagreed (MOAS origins, IXP sources conflicting on a member ASN, a
+member ASN whose org differs from the BGP origin's, a WHOIS owner whose
+org differs from the BGP origin's), and a confidence score.  Confidence
+is additive metadata: the *selected* ASN/ORG is unchanged from the
+classic chain, so clean-run inference outputs (and the study digest) are
+identical -- but downstream stages can flag low-confidence inferences
+instead of silently counting them.
 
 Annotation is pure inference-side code: it sees datasets and addresses,
 never the world.
@@ -15,7 +27,7 @@ never the world.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.asn import AMAZON_ORG_ID, ASN
 from repro.net.ip import IPv4, is_private, is_shared
@@ -35,9 +47,30 @@ class AnnotationSource:
     NONE = "none"
 
 
+class Disagreement:
+    """Inter-source disagreement labels recorded on annotations."""
+
+    BGP_MOAS = "bgp-moas"
+    BGP_VS_WHOIS = "bgp-vs-whois"
+    IXP_SOURCE_CONFLICT = "ixp-source-conflict"
+    IXP_VS_BGP = "ixp-vs-bgp"
+
+
+#: Base confidence per annotation source.
+CONF_PRIVATE = 1.0
+CONF_IXP_MEMBER = 0.9
+CONF_IXP_NO_MEMBER = 0.5
+CONF_BGP = 0.95
+CONF_WHOIS_ASN = 0.7
+CONF_WHOIS_NAME_ONLY = 0.5
+CONF_NONE = 0.0
+#: Multiplicative penalty applied per recorded disagreement.
+DISAGREEMENT_PENALTY = 0.6
+
+
 @dataclass(frozen=True)
 class HopAnnotation:
-    """Annotation of one hop address."""
+    """Annotation of one hop address, with provenance."""
 
     ip: IPv4
     asn: ASN                  # 0 when unmapped
@@ -45,6 +78,12 @@ class HopAnnotation:
     is_ixp: bool
     ixp_id: Optional[int]
     source: str               # AnnotationSource value
+    #: base source confidence, discounted per disagreement.
+    confidence: float = 1.0
+    #: datasets consulted while walking the fallback chain, in order.
+    sources_consulted: Tuple[str, ...] = ()
+    #: Disagreement labels for sources that contradicted each other.
+    disagreements: Tuple[str, ...] = ()
 
 
 class HopAnnotator:
@@ -74,31 +113,62 @@ class HopAnnotator:
         return ann
 
     def _compute(self, ip: IPv4) -> HopAnnotation:
+        consulted: List[str] = [AnnotationSource.IXP]
+        disagreements: List[str] = []
+
         ixp_id = self.ixps.ixp_of(ip)
         if ixp_id is not None:
             member = self.ixps.member_asn(ip)
-            asn = member if member is not None else 0
-            org = self._org_of(asn) if asn else f"IXP-{ixp_id}"
-            return HopAnnotation(
-                ip=ip, asn=asn, org=org, is_ixp=True, ixp_id=ixp_id,
-                source=AnnotationSource.IXP,
+            if self.ixps.member_conflict(ip) is not None:
+                disagreements.append(Disagreement.IXP_SOURCE_CONFLICT)
+            if member is not None:
+                asn = member
+                org = self._org_of(member)
+                base = CONF_IXP_MEMBER
+                # Cross-check: does BGP route the member address under
+                # the same organization as the directory's member ASN?
+                consulted.append(AnnotationSource.BGP)
+                bgp_origin = self.bgp.origin_of(ip)
+                if bgp_origin is not None and self._org_of(bgp_origin) != org:
+                    disagreements.append(Disagreement.IXP_VS_BGP)
+            else:
+                asn = 0
+                org = f"IXP-{ixp_id}"
+                base = CONF_IXP_NO_MEMBER
+            return self._finish(
+                ip, asn, org, True, ixp_id, AnnotationSource.IXP,
+                base, consulted, disagreements,
             )
+
+        consulted.append(AnnotationSource.PRIVATE)
         if is_private(ip) or is_shared(ip):
-            return HopAnnotation(
-                ip=ip, asn=0, org=None, is_ixp=False, ixp_id=None,
-                source=AnnotationSource.PRIVATE,
+            return self._finish(
+                ip, 0, None, False, None, AnnotationSource.PRIVATE,
+                CONF_PRIVATE, consulted, disagreements,
             )
-        asn = self.bgp.origin_of(ip)
-        if asn is not None:
-            return HopAnnotation(
-                ip=ip, asn=asn, org=self._org_of(asn), is_ixp=False,
-                ixp_id=None, source=AnnotationSource.BGP,
+
+        consulted.append(AnnotationSource.BGP)
+        origin = self.bgp.origin_of(ip)
+        if origin is not None:
+            if self.bgp.is_moas(ip):
+                disagreements.append(Disagreement.BGP_MOAS)
+            # Cross-check WHOIS; safe because WHOIS draws are keyed per
+            # /24, so the extra lookup can never perturb later lookups.
+            consulted.append(AnnotationSource.WHOIS)
+            whois_asn = self.whois.owner_asn(ip)
+            if whois_asn is not None and self._org_of(whois_asn) != self._org_of(origin):
+                disagreements.append(Disagreement.BGP_VS_WHOIS)
+            return self._finish(
+                ip, origin, self._org_of(origin), False, None,
+                AnnotationSource.BGP, CONF_BGP, consulted, disagreements,
             )
+
+        consulted.append(AnnotationSource.WHOIS)
         whois_asn = self.whois.owner_asn(ip)
         if whois_asn is not None:
-            return HopAnnotation(
-                ip=ip, asn=whois_asn, org=self._org_of(whois_asn),
-                is_ixp=False, ixp_id=None, source=AnnotationSource.WHOIS,
+            return self._finish(
+                ip, whois_asn, self._org_of(whois_asn), False, None,
+                AnnotationSource.WHOIS, CONF_WHOIS_ASN, consulted, disagreements,
             )
         record = self.whois.lookup(ip)
         if record is not None:
@@ -107,13 +177,40 @@ class HopAnnotator:
             from repro.net.asn import CLOUD_ORG_IDS
 
             org = CLOUD_ORG_IDS.get(record.holder_name, f"WHOIS-{record.holder_name}")
-            return HopAnnotation(
-                ip=ip, asn=0, org=org,
-                is_ixp=False, ixp_id=None, source=AnnotationSource.WHOIS,
+            return self._finish(
+                ip, 0, org, False, None, AnnotationSource.WHOIS,
+                CONF_WHOIS_NAME_ONLY, consulted, disagreements,
             )
+        return self._finish(
+            ip, 0, None, False, None, AnnotationSource.NONE,
+            CONF_NONE, consulted, disagreements,
+        )
+
+    def _finish(
+        self,
+        ip: IPv4,
+        asn: ASN,
+        org: Optional[str],
+        is_ixp: bool,
+        ixp_id: Optional[int],
+        source: str,
+        base_confidence: float,
+        consulted: List[str],
+        disagreements: List[str],
+    ) -> HopAnnotation:
+        confidence = round(
+            base_confidence * DISAGREEMENT_PENALTY ** len(disagreements), 6
+        )
         return HopAnnotation(
-            ip=ip, asn=0, org=None, is_ixp=False, ixp_id=None,
-            source=AnnotationSource.NONE,
+            ip=ip,
+            asn=asn,
+            org=org,
+            is_ixp=is_ixp,
+            ixp_id=ixp_id,
+            source=source,
+            confidence=confidence,
+            sources_consulted=tuple(consulted),
+            disagreements=tuple(disagreements),
         )
 
     def _org_of(self, asn: ASN) -> str:

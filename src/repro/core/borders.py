@@ -49,10 +49,18 @@ class SegmentRecord:
     #: sample of raw destination addresses (feeds the §7.1 target pool)
     dst_sample: Set[IPv4] = field(default_factory=set)
     first_round: str = "r1"
+    #: lowest annotation confidence of any CBI observation of this segment
+    min_confidence: float = 1.0
 
     DST_SAMPLE_CAP = 8
 
-    def observe(self, region: str, dst: IPv4, prev_ip: Optional[IPv4]) -> None:
+    def observe(
+        self,
+        region: str,
+        dst: IPv4,
+        prev_ip: Optional[IPv4],
+        confidence: float = 1.0,
+    ) -> None:
         self.count += 1
         self.regions.add(region)
         if prev_ip is not None:
@@ -60,6 +68,8 @@ class SegmentRecord:
         self.dst_slash24s.add(dst & 0xFFFFFF00)
         if len(self.dst_sample) < self.DST_SAMPLE_CAP:
             self.dst_sample.add(dst)
+        if confidence < self.min_confidence:
+            self.min_confidence = confidence
 
 
 @dataclass
@@ -67,15 +77,28 @@ class ObservatoryStats:
     ingested: int = 0
     with_border: int = 0
     dropped: Counter = field(default_factory=Counter)
+    #: border observations whose annotation fell below min_confidence
+    low_confidence: int = 0
 
 
 class BorderObservatory:
-    """Streaming implementation of the basic inference strategy."""
+    """Streaming implementation of the basic inference strategy.
 
-    def __init__(self, annotator: HopAnnotator) -> None:
+    ``min_confidence`` flags -- never filters -- segments whose border
+    annotation confidence falls below the floor: low-confidence segments
+    still count (the digest is unchanged), but they are surfaced in
+    :attr:`low_confidence_segments` and the data-quality report.
+    """
+
+    def __init__(
+        self, annotator: HopAnnotator, min_confidence: float = 0.0
+    ) -> None:
         self.annotator = annotator
+        self.min_confidence = min_confidence
         #: (abi, cbi) -> SegmentRecord
         self.segments: Dict[Tuple[IPv4, IPv4], SegmentRecord] = {}
+        #: segments observed (at least once) below the confidence floor
+        self.low_confidence_segments: Set[Tuple[IPv4, IPv4]] = set()
         #: successor interfaces observed after each interface, with counts
         self.successors: Dict[IPv4, Counter] = {}
         #: regions from which each interface was observed
@@ -174,7 +197,15 @@ class BorderObservatory:
         if record is None:
             record = SegmentRecord(abi=abi, cbi=cbi, first_round=self.current_round)
             self.segments[key] = record
-        record.observe(trace.region, trace.dst, prev_ip)
+        record.observe(
+            trace.region, trace.dst, prev_ip, confidence=border_ann.confidence
+        )
+        if (
+            self.min_confidence > 0.0
+            and border_ann.confidence < self.min_confidence
+        ):
+            self.stats.low_confidence += 1
+            self.low_confidence_segments.add(key)
         self.stats.with_border += 1
         return key
 
@@ -201,6 +232,10 @@ class BorderObservatory:
 
     def cbis_of_abi(self, abi: IPv4) -> Set[IPv4]:
         return {c for (a, c) in self.segments if a == abi}
+
+    def low_confidence_cbis(self) -> Set[IPv4]:
+        """CBIs of segments observed below the confidence floor."""
+        return {cbi for _abi, cbi in self.low_confidence_segments}
 
     def segments_first_seen_in(self, round_label: str) -> List[SegmentRecord]:
         return [s for s in self.segments.values() if s.first_round == round_label]

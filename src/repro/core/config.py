@@ -16,6 +16,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.datasets.datafaults import DataFaultPlan
 from repro.measure.faults import FaultPlan
 
 
@@ -50,6 +51,14 @@ class StudyConfig:
     #: re-probing them (requires ``checkpoint_dir``).
     resume: bool = False
 
+    # --- data quality ---------------------------------------------------
+    #: deterministic dataset-degradation schedule (dirty BGP/WHOIS/
+    #: as2org/IXP views); None = pristine datasets.
+    data_fault_plan: Optional[DataFaultPlan] = None
+    #: annotation-confidence floor below which CBIs, confirmed ABIs, and
+    #: pins are flagged in the data-quality report (0 = no flagging).
+    min_confidence: float = 0.0
+
     def __post_init__(self) -> None:
         if self.expansion_stride < 1:
             raise ValueError(
@@ -75,6 +84,10 @@ class StudyConfig:
             )
         if self.resume and not self.checkpoint_dir:
             raise ValueError("resume=True requires checkpoint_dir")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
 
     # ------------------------------------------------------------------
 

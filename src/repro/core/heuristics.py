@@ -34,6 +34,9 @@ class HeuristicOutcome:
     cumulative_abis: Dict[str, Set[IPv4]] = field(default_factory=dict)
     confirmed_abis: Set[IPv4] = field(default_factory=set)
     unconfirmed_abis: Set[IPv4] = field(default_factory=set)
+    #: confirmed ABIs whose best CBI evidence fell below the confidence
+    #: floor -- flagged, not removed (the digest is unchanged).
+    low_confidence_abis: Set[IPv4] = field(default_factory=set)
 
     def confirmed_cbis(self, observatory: BorderObservatory) -> Set[IPv4]:
         out: Set[IPv4] = set()
@@ -52,9 +55,11 @@ class SegmentVerifier:
         self,
         observatory: BorderObservatory,
         public_vp: PublicVantagePoint,
+        min_confidence: float = 0.0,
     ) -> None:
         self.observatory = observatory
         self.public_vp = public_vp
+        self.min_confidence = min_confidence
 
     # -- individual heuristics -------------------------------------------
 
@@ -115,4 +120,16 @@ class SegmentVerifier:
             outcome.cumulative_abis[name] = set(running)
         outcome.confirmed_abis = confirmed
         outcome.unconfirmed_abis = set(candidates) - confirmed
+        if self.min_confidence > 0.0:
+            annotate = self.observatory.annotator.annotate
+            for abi in confirmed:
+                best = max(
+                    (
+                        annotate(cbi).confidence
+                        for cbi in self.observatory.cbis_of_abi(abi)
+                    ),
+                    default=1.0,
+                )
+                if best < self.min_confidence:
+                    outcome.low_confidence_abis.add(abi)
         return outcome

@@ -57,6 +57,9 @@ class PinningResult:
     regional: Dict[IPv4, RegionalAssignment] = field(default_factory=dict)
     #: min-RTT ratios of unpinned multi-region interfaces (Fig. 5 series)
     rtt_ratios: List[float] = field(default_factory=list)
+    #: pinned/assigned interfaces whose annotation confidence fell below
+    #: the floor -- flagged, not removed, so pin counts are unchanged.
+    low_confidence: Set[IPv4] = field(default_factory=set)
 
     def metro_of(self, ip: IPv4) -> Optional[str]:
         loc = self.pinned.get(ip)
@@ -79,12 +82,16 @@ class IterativePinner:
         segments: Iterable[Tuple[IPv4, IPv4]],
         segment_rtt_diff: Dict[Tuple[IPv4, IPv4], float],
         threshold_ms: float = SHORT_SEGMENT_MS,
+        confidence: Optional[Dict[IPv4, float]] = None,
+        min_confidence: float = 0.0,
     ) -> None:
         self.anchors = dict(anchors)
         self.alias_sets = [set(g) for g in alias_sets]
         self.segments = list(segments)
         self.segment_rtt_diff = dict(segment_rtt_diff)
         self.threshold_ms = threshold_ms
+        self.confidence = dict(confidence or {})
+        self.min_confidence = min_confidence
 
     # ------------------------------------------------------------------
 
@@ -146,6 +153,10 @@ class IterativePinner:
                 changed = True
 
         result.rounds = round_index
+        if self.min_confidence > 0.0:
+            for ip in result.pinned:
+                if self.confidence.get(ip, 1.0) < self.min_confidence:
+                    result.low_confidence.add(ip)
         return result
 
     def _suggestions(
@@ -175,8 +186,11 @@ def regional_fallback(
     pinger: Pinger,
     cloud: str = "amazon",
     ratio_threshold: float = REGION_RTT_RATIO,
+    confidence: Optional[Dict[IPv4, float]] = None,
+    min_confidence: float = 0.0,
 ) -> None:
     """§6.1's coarser pass: assign unpinned interfaces to a region."""
+    confidence = confidence or {}
     for ip in sorted(set(unpinned)):
         if ip in result.pinned:
             continue
@@ -187,11 +201,17 @@ def regional_fallback(
             result.regional[ip] = RegionalAssignment(
                 region=ranked[0][0], reason="single_region"
             )
-            continue
-        (r1, rtt1), (_r2, rtt2) = ranked
-        ratio = rtt2 / rtt1 if rtt1 > 0 else float("inf")
-        result.rtt_ratios.append(ratio)
-        if ratio > ratio_threshold:
-            result.regional[ip] = RegionalAssignment(
-                region=r1, reason="rtt_ratio", ratio=ratio
-            )
+        else:
+            (r1, rtt1), (_r2, rtt2) = ranked
+            ratio = rtt2 / rtt1 if rtt1 > 0 else float("inf")
+            result.rtt_ratios.append(ratio)
+            if ratio > ratio_threshold:
+                result.regional[ip] = RegionalAssignment(
+                    region=r1, reason="rtt_ratio", ratio=ratio
+                )
+        if (
+            ip in result.regional
+            and min_confidence > 0.0
+            and confidence.get(ip, 1.0) < min_confidence
+        ):
+            result.low_confidence.add(ip)

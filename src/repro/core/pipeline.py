@@ -32,7 +32,7 @@ from repro.core.graph import InterfaceConnectivityGraph
 from repro.core.grouping import PeeringGrouper
 from repro.core.heuristics import SegmentVerifier
 from repro.core.pinning import IterativePinner, regional_fallback
-from repro.core.results import InterfaceCensus, StudyResult
+from repro.core.results import DataQualityReport, InterfaceCensus, StudyResult
 from repro.core.vpi import VPIDetector
 from repro.datasets import (
     as2org_from_world,
@@ -41,6 +41,7 @@ from repro.datasets import (
     relationships_from_world,
     snapshot_from_world,
 )
+from repro.datasets.validate import DatasetValidationReport, validate_datasets
 from repro.datasets.whois import WhoisRegistry
 from repro.measure.alias import AliasResolver
 from repro.measure.campaign import ProbeCampaign
@@ -97,14 +98,17 @@ class AmazonPeeringStudy:
         self.run_crossval = config.run_crossval
         seed = config.seed
 
-        # Public datasets.
-        self.whois = WhoisRegistry(world, seed=seed)
-        self.as2org = as2org_from_world(world, seed=seed)
+        # Public datasets, optionally degraded by the data fault plan.
+        data_faults = config.data_fault_plan
+        self.whois = WhoisRegistry(world, seed=seed, data_faults=data_faults)
+        self.as2org = as2org_from_world(world, seed=seed, data_faults=data_faults)
         self.peeringdb = peeringdb_from_world(world, seed=seed)
-        self.ixps = ixp_directory_from_world(world, self.peeringdb, seed=seed)
+        self.ixps = ixp_directory_from_world(
+            world, self.peeringdb, seed=seed, data_faults=data_faults
+        )
         self.relationships = relationships_from_world(world)
-        self.bgp_r1 = snapshot_from_world(world, "r1")
-        self.bgp_r2 = snapshot_from_world(world, "r2")
+        self.bgp_r1 = snapshot_from_world(world, "r1", data_faults=data_faults)
+        self.bgp_r2 = snapshot_from_world(world, "r2", data_faults=data_faults)
 
         # Measurement plane.  The engine carries the observation side of
         # the fault plan (loss, rate limits); the executor's retry policy
@@ -136,7 +140,9 @@ class AmazonPeeringStudy:
             if cloud != "amazon"
         }
 
-        self.observatory = BorderObservatory(self.annotator_r1)
+        self.observatory = BorderObservatory(
+            self.annotator_r1, min_confidence=config.min_confidence
+        )
         self.region_metro = {
             name: rt.metro_code for name, rt in world.regions["amazon"].items()
         }
@@ -157,6 +163,13 @@ class AmazonPeeringStudy:
 
         def campaign_progress(label: str):
             return metrics.campaign(label, callback=self.progress_callback)
+
+        # Dataset cross-validation, *before* any probing: how much do the
+        # sources disagree with each other up front?
+        with metrics.stage("validate"):
+            validation = validate_datasets(
+                self.bgp_r2, self.whois, self.as2org, self.ixps
+            )
 
         # §3-§4.1: round-1 sweep.
         campaign = ProbeCampaign(
@@ -198,7 +211,11 @@ class AmazonPeeringStudy:
 
         # §5.1: heuristics.
         with metrics.stage("heuristics"):
-            verifier = SegmentVerifier(self.observatory, self.public_vp)
+            verifier = SegmentVerifier(
+                self.observatory,
+                self.public_vp,
+                min_confidence=config.min_confidence,
+            )
             result.heuristics = verifier.verify()
 
         # §5.2: alias resolution and ownership verification.
@@ -229,15 +246,25 @@ class AmazonPeeringStudy:
                 region_metro=self.region_metro,
             )
             result.anchors = anchor_builder.build(result.alias_sets)
+            confidence = {
+                ip: self.annotator_r2.annotate(ip).confidence
+                for ip in sorted(result.abis | result.cbis)
+            }
             pinner = IterativePinner(
                 result.anchors.anchors,
                 result.alias_sets,
                 result.final_segments,
                 result.segment_rtt_diff,
+                confidence=confidence,
+                min_confidence=config.min_confidence,
             )
             result.pinning = pinner.run()
             regional_fallback(
-                result.pinning, result.abis | result.cbis, self.pinger
+                result.pinning,
+                result.abis | result.cbis,
+                self.pinger,
+                confidence=confidence,
+                min_confidence=config.min_confidence,
             )
 
         # §6.2: stratified cross-validation.
@@ -313,9 +340,65 @@ class AmazonPeeringStudy:
                 catalog=self.world.catalog,
                 region_metros=sorted(self.region_metro.values()),
             )
+
+        # Data-quality rollup: what the sources disagreed on and which
+        # inferences the confidence floor flagged.  Observability only --
+        # deliberately outside the digest.
+        with metrics.stage("quality"):
+            result.data_quality = self._data_quality(result, validation)
+            metrics.note_data_quality(
+                result.data_quality.total_disagreements,
+                result.data_quality.flagged_count,
+            )
         return result
 
     # ------------------------------------------------------------------
+
+    def _data_quality(
+        self, result: StudyResult, validation: DatasetValidationReport
+    ) -> DataQualityReport:
+        """Score the final border interfaces and collect flagged sets."""
+        config = self.config
+        annotate = self.annotator_r2.annotate
+        interfaces = sorted(result.abis | result.cbis)
+        source_counts: Dict[str, int] = {}
+        disagreement_counts: Dict[str, int] = {}
+        total_confidence = 0.0
+        for ip in interfaces:
+            ann = annotate(ip)
+            total_confidence += ann.confidence
+            source_counts[ann.source] = source_counts.get(ann.source, 0) + 1
+            for label in ann.disagreements:
+                disagreement_counts[label] = (
+                    disagreement_counts.get(label, 0) + 1
+                )
+        low_cbis: Set[IPv4] = set()
+        low_abis: Set[IPv4] = set()
+        low_pins: Set[IPv4] = set()
+        if config.min_confidence > 0.0:
+            low_cbis = {
+                ip
+                for ip in result.cbis
+                if annotate(ip).confidence < config.min_confidence
+            }
+            if result.heuristics is not None:
+                low_abis = set(result.heuristics.low_confidence_abis)
+            if result.pinning is not None:
+                low_pins = set(result.pinning.low_confidence)
+        return DataQualityReport(
+            fault_plan=config.data_fault_plan,
+            min_confidence=config.min_confidence,
+            validation=validation,
+            interfaces_scored=len(interfaces),
+            mean_confidence=(
+                total_confidence / len(interfaces) if interfaces else 1.0
+            ),
+            source_counts=source_counts,
+            disagreement_counts=disagreement_counts,
+            low_confidence_cbis=low_cbis,
+            low_confidence_abis=low_abis,
+            low_confidence_pins=low_pins,
+        )
 
     def _census(
         self, label: str, ips: Set[IPv4], annotator: HopAnnotator

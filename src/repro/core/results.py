@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.net.ip import IPv4
+from repro.datasets.datafaults import DataFaultPlan
+from repro.datasets.validate import DatasetValidationReport
 from repro.core.aliasverify import VerificationResult
 from repro.core.config import StudyConfig
 from repro.core.anchors import AnchorSet
@@ -18,6 +20,59 @@ from repro.core.pinning import PinningResult
 from repro.core.vpi import VPIDetectionResult
 from repro.measure.campaign import CampaignStats
 from repro.measure.metrics import StudyMetrics
+
+
+@dataclass
+class DataQualityReport:
+    """How dirty the datasets were, and what the pipeline flagged.
+
+    Everything here is *observability*, deliberately excluded from
+    ``StudyResult.digest()``: a clean run's digest is unchanged by the
+    existence of this report, and a dirty run's digest covers the
+    (deterministically degraded) inference outputs themselves.
+    """
+
+    #: the degradation schedule the datasets were built under (None = clean).
+    fault_plan: Optional[DataFaultPlan] = None
+    #: the confidence floor flagging was run with (0 = flagging off).
+    min_confidence: float = 0.0
+    #: up-front inter-source disagreement counts (datasets/validate.py).
+    validation: Optional[DatasetValidationReport] = None
+    #: final border interfaces scored (|ABIs| + |CBIs|).
+    interfaces_scored: int = 0
+    mean_confidence: float = 1.0
+    #: AnnotationSource value -> interface count.
+    source_counts: Dict[str, int] = field(default_factory=dict)
+    #: Disagreement label -> count over final border interfaces.
+    disagreement_counts: Dict[str, int] = field(default_factory=dict)
+    low_confidence_cbis: Set[IPv4] = field(default_factory=set)
+    low_confidence_abis: Set[IPv4] = field(default_factory=set)
+    low_confidence_pins: Set[IPv4] = field(default_factory=set)
+
+    @property
+    def annotation_disagreements(self) -> int:
+        return sum(self.disagreement_counts.values())
+
+    @property
+    def total_disagreements(self) -> int:
+        """Dataset-level plus annotation-level disagreements."""
+        dataset = (
+            self.validation.total_disagreements if self.validation else 0
+        )
+        return dataset + self.annotation_disagreements
+
+    @property
+    def flagged_count(self) -> int:
+        return (
+            len(self.low_confidence_cbis)
+            + len(self.low_confidence_abis)
+            + len(self.low_confidence_pins)
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when sources disagreed or inferences were flagged."""
+        return bool(self.total_disagreements or self.flagged_count)
 
 
 @dataclass
@@ -74,6 +129,9 @@ class StudyResult:
     #: per-stage wall-clock and per-campaign throughput.
     metrics: Optional[StudyMetrics] = None
     runtime_seconds: Dict[str, float] = field(default_factory=dict)
+    #: dataset dirt, annotation confidence, and flagged inferences.
+    #: Excluded from ``digest_inputs`` by design (observability only).
+    data_quality: Optional[DataQualityReport] = None
 
     # ------------------------------------------------------------------
 

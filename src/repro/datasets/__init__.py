@@ -7,6 +7,7 @@ these, never the world's ground truth.
 
 from repro.datasets.as2org import AS2Org, as2org_from_world
 from repro.datasets.bgp import Announcement, BGPSnapshot, snapshot_from_world
+from repro.datasets.datafaults import DataFaultPlan
 from repro.datasets.ixp import IXPDirectory, ixp_directory_from_world
 from repro.datasets.peeringdb import (
     PDBFacility,
@@ -20,6 +21,7 @@ from repro.datasets.relationships import (
     Relationship,
     relationships_from_world,
 )
+from repro.datasets.validate import DatasetValidationReport, validate_datasets
 from repro.datasets.whois import WhoisRecord, WhoisRegistry
 
 __all__ = [
@@ -27,6 +29,8 @@ __all__ = [
     "ASRelationships",
     "Announcement",
     "BGPSnapshot",
+    "DataFaultPlan",
+    "DatasetValidationReport",
     "IXPDirectory",
     "PDBFacility",
     "PDBIXP",
@@ -40,4 +44,5 @@ __all__ = [
     "peeringdb_from_world",
     "relationships_from_world",
     "snapshot_from_world",
+    "validate_datasets",
 ]

@@ -4,14 +4,20 @@ The paper uses as2org to collapse Amazon's eight ASNs into one ORG so that
 an inter-ASN hop inside Amazon is not mistaken for a network border (§3).
 Coverage is high but not perfect; ASes missing from the dataset fall back
 to a per-ASN pseudo-org in the annotation layer.
+
+Whether an AS is covered is keyed to the ASN itself (not to registry
+iteration order), so the derived view is identical no matter how it is
+built -- and a :class:`~repro.datasets.datafaults.DataFaultPlan` can
+deterministically drop additional non-cloud entries.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Optional
 
 from repro.net.asn import ASN
+from repro.net.rng import keyed_uniform
+from repro.datasets.datafaults import DataFaultPlan
 from repro.world.model import World
 
 
@@ -35,11 +41,19 @@ class AS2Org:
         return asn in self._mapping
 
 
-def as2org_from_world(world: World, seed: int = 0, coverage: float = 0.98) -> AS2Org:
+def as2org_from_world(
+    world: World,
+    seed: int = 0,
+    coverage: float = 0.98,
+    data_faults: Optional[DataFaultPlan] = None,
+) -> AS2Org:
     """Derive the dataset; a small fraction of ASes is missing, as in life."""
-    rng = random.Random(repr(("as2org", seed)))
     mapping: Dict[ASN, str] = {}
     for info in world.as_registry:
-        if info.kind == "cloud" or rng.random() < coverage:
-            mapping[info.asn] = info.org_id
+        if info.kind != "cloud":
+            if keyed_uniform("as2org", seed, info.asn) >= coverage:
+                continue
+            if data_faults is not None and data_faults.as2org_dropped(info.asn):
+                continue
+        mapping[info.asn] = info.org_id
     return AS2Org(mapping)

@@ -14,10 +14,11 @@ that two-thirds of Amazon peerings never show up in public BGP data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.net.asn import AMAZON_PRIMARY_ASN, ASN
 from repro.net.ip import IPv4, Prefix
+from repro.datasets.datafaults import DataFaultPlan
 from repro.world.model import World
 
 
@@ -28,13 +29,20 @@ class Announcement:
 
 
 class BGPSnapshot:
-    """Longest-prefix-match table plus announced AS adjacencies."""
+    """Longest-prefix-match table plus announced AS adjacencies.
+
+    ``moas`` carries multi-origin (MOAS) conflicts: prefixes announced by
+    more than one origin.  The LPM table keeps the first origin (route
+    collectors pick one best path too), but :meth:`origins_of` exposes
+    every claimed origin so the annotation layer can record the conflict.
+    """
 
     def __init__(
         self,
         announcements: Iterable[Announcement],
         as_links: Iterable[Tuple[ASN, ASN]],
         label: str = "r1",
+        moas: Optional[Mapping[Prefix, Tuple[ASN, ...]]] = None,
     ) -> None:
         self.label = label
         self._by_length: Dict[int, Dict[int, ASN]] = {}
@@ -47,6 +55,9 @@ class BGPSnapshot:
         self.as_links: Set[FrozenSet[ASN]] = {
             frozenset(link) for link in as_links
         }
+        self._moas: Dict[Tuple[int, int], Tuple[ASN, ...]] = {}
+        for prefix, origins in (moas or {}).items():
+            self._moas[(prefix.network, prefix.length)] = tuple(origins)
 
     # ------------------------------------------------------------------
 
@@ -58,6 +69,23 @@ class BGPSnapshot:
             if asn is not None:
                 return asn
         return None
+
+    def origins_of(self, ip: IPv4) -> Tuple[ASN, ...]:
+        """Every origin announcing the LPM prefix (>1 under a MOAS conflict)."""
+        for length in self._lengths:
+            mask = 0xFFFFFFFF << (32 - length) & 0xFFFFFFFF if length else 0
+            network = ip & mask
+            asn = self._by_length[length].get(network)
+            if asn is not None:
+                return self._moas.get((network, length), (asn,))
+        return ()
+
+    def is_moas(self, ip: IPv4) -> bool:
+        return len(self.origins_of(ip)) > 1
+
+    @property
+    def moas_prefix_count(self) -> int:
+        return len(self._moas)
 
     def is_announced(self, ip: IPv4) -> bool:
         return self.origin_of(ip) is not None
@@ -79,7 +107,11 @@ class BGPSnapshot:
         return peers
 
 
-def snapshot_from_world(world: World, label: str = "r1") -> BGPSnapshot:
+def snapshot_from_world(
+    world: World,
+    label: str = "r1",
+    data_faults: Optional[DataFaultPlan] = None,
+) -> BGPSnapshot:
     """Derive the public BGP view of a world at round ``label``."""
     announcements: List[Announcement] = []
     # Cloud blocks.
@@ -112,7 +144,22 @@ def snapshot_from_world(world: World, label: str = "r1") -> BGPSnapshot:
 
     for asn in world.client_ases:
         links.add((FALLBACK_TRANSIT_ASN, asn))
-    return BGPSnapshot(announcements, links, label=label)
+
+    # Dataset dirt: stale announcements vanish, MOAS conflicts appear.
+    # Both decisions are keyed per prefix, so any construction order of
+    # the same (world, label, plan) yields the identical snapshot.
+    moas: Dict[Prefix, Tuple[ASN, ...]] = {}
+    if data_faults is not None and data_faults.affects_bgp:
+        kept: List[Announcement] = []
+        for ann in announcements:
+            if data_faults.bgp_announcement_stale(ann.prefix):
+                continue
+            kept.append(ann)
+            other = data_faults.moas_conflict(ann.prefix, ann.origin_asn)
+            if other is not None:
+                moas[ann.prefix] = (ann.origin_asn, other)
+        announcements = kept
+    return BGPSnapshot(announcements, links, label=label, moas=moas)
 
 
 def _cloud_asn(cloud: str) -> ASN:

@@ -1,0 +1,270 @@
+"""Deterministic fault injection for the data plane (dataset dirt).
+
+PR 2's :class:`~repro.measure.faults.FaultPlan` made the *measurement*
+plane survive chaos; this module injects the paper's other hard reality:
+dirty **datasets**.  §3 falls back to WHOIS for the 7% of hop addresses
+announced by no AS, merges three partially conflicting IXP directories,
+and tolerates incomplete as2org coverage.  "Misleading Stars" shows that
+missing data silently corrupts topology inference, so dataset dirt is a
+*fidelity* knob the study must be testable under.
+
+A :class:`DataFaultPlan` is a reproducible degradation schedule consulted
+at dataset-construction time:
+
+* **BGP** -- stale announcements missing from the snapshot, and MOAS
+  conflicts (a second, bogus origin announced for a prefix);
+* **as2org** -- dropped (non-cloud) entries;
+* **IXP merge** -- member records missing from the PeeringDB/PCH merge,
+  and member records whose two sources disagree on the member ASN;
+* **WHOIS** -- allocations with no retrievable record, and records
+  stripped down to a holder name with no ASN.
+
+Every decision is derived from ``random.Random(repr(key))`` keyed by the
+*record identity* (prefix, ASN, member IP, /24), never by a shared
+sequential RNG -- so a given ``(seed, DataFaultPlan)`` yields the same
+degraded dataset view for any construction order, lookup order, or worker
+count, and the ``StudyResult.digest()`` contract extends to dirty runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.net.asn import ASN
+from repro.net.ip import IPv4, Prefix
+
+#: Injected bogus origins come from the private-use ASN range: they map
+#: to no as2org entry (pseudo-org fallback) and can never collide with a
+#: real cloud or client AS of the world.
+_CONFLICT_ASN_BASE = 64512
+_CONFLICT_ASN_SPREAD = 1024
+
+_RATE_FIELDS = (
+    "bgp_stale_rate",
+    "moas_rate",
+    "as2org_drop_rate",
+    "ixp_member_drop_rate",
+    "ixp_member_conflict_rate",
+    "whois_gap_rate",
+    "whois_nameonly_rate",
+)
+
+
+@dataclass(frozen=True)
+class DataFaultPlan:
+    """A reproducible dataset-degradation schedule.
+
+    All rates are probabilities in ``[0, 1]``; everything is derived from
+    ``seed`` alone, so two plans with equal fields degrade exactly the
+    same records no matter where or when the datasets are built.
+    """
+
+    seed: int = 0
+
+    # --- BGP snapshot ---------------------------------------------------
+    #: fraction of announcements missing from the snapshot (stale RIB).
+    bgp_stale_rate: float = 0.0
+    #: fraction of announcements that gain a second, conflicting origin.
+    moas_rate: float = 0.0
+
+    # --- as2org ---------------------------------------------------------
+    #: fraction of non-cloud entries dropped from the dataset.
+    as2org_drop_rate: float = 0.0
+
+    # --- IXP directory merge (PeeringDB + PCH + CAIDA) ------------------
+    #: fraction of member records missing from the merged view entirely.
+    ixp_member_drop_rate: float = 0.0
+    #: fraction of member records whose sources disagree on the ASN.
+    ixp_member_conflict_rate: float = 0.0
+
+    # --- WHOIS ----------------------------------------------------------
+    #: fraction of allocations with no retrievable record at all.
+    whois_gap_rate: float = 0.0
+    #: fraction of records stripped to a holder name (no ASN).
+    whois_nameonly_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    # ------------------------------------------------------------------
+
+    def _u(self, *key: object) -> float:
+        """A uniform [0, 1) draw that is a pure function of ``key``."""
+        return random.Random(repr(("datafault", self.seed) + key)).random()
+
+    # --- BGP ------------------------------------------------------------
+
+    def bgp_announcement_stale(self, prefix: Prefix) -> bool:
+        """Whether this announcement is missing from the snapshot."""
+        if self.bgp_stale_rate <= 0.0:
+            return False
+        return (
+            self._u("bgp-stale", prefix.network, prefix.length)
+            < self.bgp_stale_rate
+        )
+
+    def moas_conflict(self, prefix: Prefix, origin: ASN) -> Optional[ASN]:
+        """A second, conflicting origin for this prefix, if drawn."""
+        if self.moas_rate <= 0.0:
+            return None
+        if self._u("moas", prefix.network, prefix.length) >= self.moas_rate:
+            return None
+        other = _CONFLICT_ASN_BASE + int(
+            self._u("moas-origin", prefix.network, prefix.length)
+            * _CONFLICT_ASN_SPREAD
+        )
+        return other + 1 if other == origin else other
+
+    # --- as2org ---------------------------------------------------------
+
+    def as2org_dropped(self, asn: ASN) -> bool:
+        if self.as2org_drop_rate <= 0.0:
+            return False
+        return self._u("as2org-drop", asn) < self.as2org_drop_rate
+
+    # --- IXP directory --------------------------------------------------
+
+    def ixp_member_dropped(self, ip: IPv4) -> bool:
+        if self.ixp_member_drop_rate <= 0.0:
+            return False
+        return self._u("ixp-drop", ip) < self.ixp_member_drop_rate
+
+    def ixp_member_conflict(self, ip: IPv4, asn: ASN) -> Optional[ASN]:
+        """The ASN a second source claims for ``ip``, if it disagrees."""
+        if self.ixp_member_conflict_rate <= 0.0:
+            return None
+        if self._u("ixp-conflict", ip) >= self.ixp_member_conflict_rate:
+            return None
+        other = _CONFLICT_ASN_BASE + int(
+            self._u("ixp-conflict-asn", ip) * _CONFLICT_ASN_SPREAD
+        )
+        return other + 1 if other == asn else other
+
+    # --- WHOIS ----------------------------------------------------------
+
+    def whois_gap(self, slash24_key: int) -> bool:
+        """Whether the allocation covering this /24 has no record."""
+        if self.whois_gap_rate <= 0.0:
+            return False
+        return self._u("whois-gap", slash24_key) < self.whois_gap_rate
+
+    def whois_nameonly(self, slash24_key: int) -> bool:
+        """Whether the record is stripped to a holder name (no ASN)."""
+        if self.whois_nameonly_rate <= 0.0:
+            return False
+        return self._u("whois-nameonly", slash24_key) < self.whois_nameonly_rate
+
+    # ------------------------------------------------------------------
+
+    @property
+    def affects_bgp(self) -> bool:
+        return self.bgp_stale_rate > 0.0 or self.moas_rate > 0.0
+
+    @property
+    def affects_as2org(self) -> bool:
+        return self.as2org_drop_rate > 0.0
+
+    @property
+    def affects_ixp(self) -> bool:
+        return (
+            self.ixp_member_drop_rate > 0.0
+            or self.ixp_member_conflict_rate > 0.0
+        )
+
+    @property
+    def affects_whois(self) -> bool:
+        return self.whois_gap_rate > 0.0 or self.whois_nameonly_rate > 0.0
+
+    @property
+    def affects_datasets(self) -> bool:
+        return (
+            self.affects_bgp
+            or self.affects_as2org
+            or self.affects_ixp
+            or self.affects_whois
+        )
+
+    def signature(self) -> str:
+        """Identity of the degradation, for provenance and fingerprints."""
+        if not self.affects_datasets:
+            return "clean"
+        return repr(
+            (self.seed,) + tuple(getattr(self, f) for f in _RATE_FIELDS)
+        )
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: object) -> "DataFaultPlan":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Compact human-readable summary for reports and provenance."""
+        parts = [f"seed={self.seed}"]
+        if self.bgp_stale_rate:
+            parts.append(f"bgp-stale={self.bgp_stale_rate:g}")
+        if self.moas_rate:
+            parts.append(f"moas={self.moas_rate:g}")
+        if self.as2org_drop_rate:
+            parts.append(f"as2org-drop={self.as2org_drop_rate:g}")
+        if self.ixp_member_drop_rate:
+            parts.append(f"ixp-drop={self.ixp_member_drop_rate:g}")
+        if self.ixp_member_conflict_rate:
+            parts.append(f"ixp-conflict={self.ixp_member_conflict_rate:g}")
+        if self.whois_gap_rate:
+            parts.append(f"whois-gap={self.whois_gap_rate:g}")
+        if self.whois_nameonly_rate:
+            parts.append(f"whois-nameonly={self.whois_nameonly_rate:g}")
+        return "DataFaultPlan(" + ", ".join(parts) + ")"
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "DataFaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        ``"bgp-stale=0.05,moas=0.1,as2org-drop=0.1,ixp-drop=0.1,``
+        ``ixp-conflict=0.3,whois-gap=0.2,whois-nameonly=0.2,seed=3"`` --
+        keys may appear in any order; unknown keys raise ``ValueError``.
+        """
+        aliases: Dict[str, str] = {
+            "bgp-stale": "bgp_stale_rate",
+            "bgp_stale": "bgp_stale_rate",
+            "moas": "moas_rate",
+            "as2org-drop": "as2org_drop_rate",
+            "as2org_drop": "as2org_drop_rate",
+            "ixp-drop": "ixp_member_drop_rate",
+            "ixp_drop": "ixp_member_drop_rate",
+            "ixp-conflict": "ixp_member_conflict_rate",
+            "ixp_conflict": "ixp_member_conflict_rate",
+            "whois-gap": "whois_gap_rate",
+            "whois_gap": "whois_gap_rate",
+            "whois-nameonly": "whois_nameonly_rate",
+            "whois_nameonly": "whois_nameonly_rate",
+        }
+        kwargs: Dict[str, object] = {}
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"data-fault-plan item needs key=value: {item!r}"
+                )
+            key, _, value = item.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key in aliases:
+                kwargs[aliases[key]] = float(value)
+            else:
+                raise ValueError(f"unknown data-fault-plan key: {key!r}")
+        return cls(**kwargs)  # type: ignore[arg-type]

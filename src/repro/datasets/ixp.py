@@ -5,15 +5,24 @@ to an IXP peering LAN (§3) and to map member addresses to member ASNs
 (§5.1's IXP-client heuristic, via traIXroute-style lookups [63]).  We
 model the merge as the PeeringDB snapshot plus a PCH-style supplement that
 recovers a slice of the netixlan entries PeeringDB is missing.
+
+Whether PCH recovers a member record is keyed to the member IP itself,
+so the merged view is identical regardless of iteration order.  Under a
+:class:`~repro.datasets.datafaults.DataFaultPlan` the merge can also lose
+member records entirely, or carry records whose two sources *disagree*
+on the member ASN; disagreements are kept in a conflict table (PeeringDB
+wins in the merged view) so the annotation layer can lower its
+confidence instead of silently trusting one source.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.net.asn import ASN
 from repro.net.ip import IPv4, Prefix
+from repro.net.rng import keyed_uniform
+from repro.datasets.datafaults import DataFaultPlan
 from repro.datasets.peeringdb import PeeringDB
 from repro.world.model import World
 
@@ -27,6 +36,7 @@ class IXPDirectory:
         members: Dict[IPv4, Tuple[int, ASN]],
         cities: Dict[int, Tuple[str, ...]],
         names: Dict[int, str],
+        conflicts: Optional[Mapping[IPv4, Tuple[ASN, ASN]]] = None,
     ) -> None:
         self._prefix_by_net: Dict[int, Tuple[Prefix, int]] = {}
         for prefix, ixp_id in prefixes:
@@ -35,6 +45,8 @@ class IXPDirectory:
         self._members = members
         self._cities = cities
         self._names = names
+        #: ip -> (PeeringDB ASN, conflicting ASN from the other source)
+        self._conflicts: Dict[IPv4, Tuple[ASN, ASN]] = dict(conflicts or {})
 
     # ------------------------------------------------------------------
 
@@ -52,6 +64,17 @@ class IXPDirectory:
     def member_asn(self, ip: IPv4) -> Optional[ASN]:
         entry = self._members.get(ip)
         return entry[1] if entry else None
+
+    def member_conflict(self, ip: IPv4) -> Optional[Tuple[ASN, ASN]]:
+        """The two ASNs the sources claim for ``ip``, when they disagree."""
+        return self._conflicts.get(ip)
+
+    def conflicted_ips(self) -> List[IPv4]:
+        return sorted(self._conflicts)
+
+    @property
+    def conflict_count(self) -> int:
+        return len(self._conflicts)
 
     def cities_of(self, ixp_id: int) -> Tuple[str, ...]:
         return self._cities.get(ixp_id, ())
@@ -74,19 +97,37 @@ def ixp_directory_from_world(
     peeringdb: PeeringDB,
     seed: int = 0,
     pch_recovery_rate: float = 0.5,
+    data_faults: Optional[DataFaultPlan] = None,
 ) -> IXPDirectory:
     """Merge PeeringDB's view with a PCH-style supplement."""
-    rng = random.Random(repr(("pch", seed)))
     prefixes = [(x.prefix, x.ixp_id) for x in peeringdb.ixps]
     cities = {x.ixp_id: x.cities for x in peeringdb.ixps}
     names = {x.ixp_id: x.name for x in peeringdb.ixps}
-    members: Dict[IPv4, Tuple[int, ASN]] = {
+    pdb_members: Dict[IPv4, Tuple[int, ASN]] = {
         n.ip: (n.ixp_id, n.asn) for n in peeringdb.netixlans
     }
-    # PCH recovers some of the member records PeeringDB lacks.
+    # PCH recovers some of the member records PeeringDB lacks.  Recovery
+    # is keyed per member IP so the merge never depends on iteration order.
+    pch_members: Dict[IPv4, Tuple[int, ASN]] = {}
     for ixp in world.ixps.values():
         for asn, ips in sorted(ixp.member_ips.items()):
             for ip in ips:
-                if ip not in members and rng.random() < pch_recovery_rate:
-                    members[ip] = (ixp.ixp_id, asn)
-    return IXPDirectory(prefixes, members, cities, names)
+                if keyed_uniform("pch", seed, ip) < pch_recovery_rate:
+                    pch_members[ip] = (ixp.ixp_id, asn)
+
+    conflicts: Dict[IPv4, Tuple[ASN, ASN]] = {}
+    if data_faults is not None and data_faults.affects_ixp:
+        for ip in list(pdb_members):
+            if data_faults.ixp_member_dropped(ip):
+                del pdb_members[ip]
+        for ip in list(pch_members):
+            if data_faults.ixp_member_dropped(ip):
+                del pch_members[ip]
+        for ip, (_ixp_id, asn) in sorted(pdb_members.items()):
+            other = data_faults.ixp_member_conflict(ip, asn)
+            if other is not None:
+                conflicts[ip] = (asn, other)
+
+    members = dict(pch_members)
+    members.update(pdb_members)  # PeeringDB wins where the sources overlap
+    return IXPDirectory(prefixes, members, cities, names, conflicts=conflicts)

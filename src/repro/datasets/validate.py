@@ -1,0 +1,111 @@
+"""Dataset cross-validation: inter-source disagreement detection.
+
+"AS Relationships: Inference and Validation" argues inference quality
+must be quantified against dataset error; "Misleading Stars" shows how
+silently-missing data corrupts inferred topologies.  This pass runs
+*before* any inference and counts where the public datasets disagree
+with each other, so a study report can state up front how dirty its
+inputs were:
+
+* **MOAS prefixes** -- announcements claimed by more than one origin;
+* **BGP vs. WHOIS** -- announced prefixes whose WHOIS record names a
+  different organization's ASN than the BGP origin;
+* **IXP member conflicts** -- merged directory records whose sources
+  disagree on the member ASN;
+* **coverage gaps** -- announced prefixes with no WHOIS record (or a
+  name-only record), and origin ASes missing from as2org.
+
+The pass is itself order-independent: WHOIS draws are keyed per /24
+(see :mod:`repro.datasets.whois`), so probing every announcement here
+never perturbs what later pipeline lookups observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from repro.net.asn import ASN
+from repro.datasets.as2org import AS2Org
+from repro.datasets.bgp import BGPSnapshot
+from repro.datasets.ixp import IXPDirectory
+from repro.datasets.whois import WhoisRegistry
+
+
+@dataclass(frozen=True)
+class DatasetValidationReport:
+    """Counts of inter-source disagreements and coverage gaps."""
+
+    checked_prefixes: int = 0
+    moas_prefixes: int = 0
+    bgp_whois_mismatches: int = 0
+    ixp_member_conflicts: int = 0
+    whois_gaps: int = 0
+    whois_nameonly: int = 0
+    as2org_missing_asns: int = 0
+
+    @property
+    def total_disagreements(self) -> int:
+        """Hard conflicts between sources (coverage gaps excluded)."""
+        return (
+            self.moas_prefixes
+            + self.bgp_whois_mismatches
+            + self.ixp_member_conflicts
+        )
+
+    @property
+    def total_gaps(self) -> int:
+        return self.whois_gaps + self.whois_nameonly + self.as2org_missing_asns
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "checked_prefixes": self.checked_prefixes,
+            "moas_prefixes": self.moas_prefixes,
+            "bgp_whois_mismatches": self.bgp_whois_mismatches,
+            "ixp_member_conflicts": self.ixp_member_conflicts,
+            "whois_gaps": self.whois_gaps,
+            "whois_nameonly": self.whois_nameonly,
+            "as2org_missing_asns": self.as2org_missing_asns,
+        }
+
+    def describe_lines(self) -> List[str]:
+        return [
+            f"checked {self.checked_prefixes} announced prefixes",
+            f"{self.moas_prefixes} MOAS prefixes",
+            f"{self.bgp_whois_mismatches} BGP-vs-WHOIS origin mismatches",
+            f"{self.ixp_member_conflicts} IXP member-ASN conflicts",
+            f"{self.whois_gaps} WHOIS gaps, {self.whois_nameonly} name-only records",
+            f"{self.as2org_missing_asns} origin ASes missing from as2org",
+        ]
+
+
+def validate_datasets(
+    bgp: BGPSnapshot,
+    whois: WhoisRegistry,
+    as2org: AS2Org,
+    ixps: IXPDirectory,
+) -> DatasetValidationReport:
+    """Cross-check the four dataset views against each other."""
+    mismatches = gaps = nameonly = 0
+    missing_asns: Set[ASN] = set()
+    for ann in bgp.announcements:
+        record = whois.lookup(ann.prefix.network)
+        if record is None:
+            gaps += 1
+        elif record.asn is None:
+            nameonly += 1
+        elif record.asn != ann.origin_asn and not as2org.same_org(
+            record.asn, ann.origin_asn
+        ):
+            mismatches += 1
+        if ann.origin_asn not in as2org:
+            missing_asns.add(ann.origin_asn)
+    return DatasetValidationReport(
+        checked_prefixes=len(bgp.announcements),
+        moas_prefixes=bgp.moas_prefix_count,
+        bgp_whois_mismatches=mismatches,
+        ixp_member_conflicts=ixps.conflict_count,
+        whois_gaps=gaps,
+        whois_nameonly=nameonly,
+        as2org_missing_asns=len(missing_asns),
+    )

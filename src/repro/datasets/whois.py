@@ -3,16 +3,22 @@
 §3: 7% of observed hop addresses were in public space announced by no AS;
 the paper maps them to owners via WHOIS.  This dataset exposes the
 allocation registry of the world's address plan with realistic coverage.
+
+Whether a record carries an ASN (and, under a
+:class:`~repro.datasets.datafaults.DataFaultPlan`, whether it exists at
+all) is a pure function of the /24 key -- never of lookup order -- so
+any probing schedule sees the identical registry.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.net.asn import ASN
 from repro.net.ip import IPv4
+from repro.net.rng import keyed_uniform
+from repro.datasets.datafaults import DataFaultPlan
 from repro.world.model import World
 
 
@@ -25,10 +31,17 @@ class WhoisRecord:
 class WhoisRegistry:
     """ip -> registered holder lookup."""
 
-    def __init__(self, world: World, seed: int = 0, asn_coverage: float = 0.9) -> None:
+    def __init__(
+        self,
+        world: World,
+        seed: int = 0,
+        asn_coverage: float = 0.9,
+        data_faults: Optional[DataFaultPlan] = None,
+    ) -> None:
         self._world = world
-        self._rng = random.Random(repr(("whois", seed)))
+        self._seed = seed
         self._asn_coverage = asn_coverage
+        self._faults = data_faults
         self._cache: Dict[int, Optional[WhoisRecord]] = {}
 
     def lookup(self, ip: IPv4) -> Optional[WhoisRecord]:
@@ -36,16 +49,30 @@ class WhoisRegistry:
         key = ip >> 8  # allocations never split /24s in our plan
         if key in self._cache:
             return self._cache[key]
-        alloc = self._world.plan.owner_of(ip)
-        record: Optional[WhoisRecord] = None
-        if alloc is not None:
-            asn: Optional[ASN] = alloc.owner_asn if alloc.owner_asn else None
-            # Some RIR records carry only a holder name, no ASN.
-            if asn is not None and self._rng.random() >= self._asn_coverage:
-                asn = None
-            record = WhoisRecord(holder_name=alloc.holder_name, asn=asn)
+        record = self._compute(key, ip)
         self._cache[key] = record
         return record
+
+    def _compute(self, key: int, ip: IPv4) -> Optional[WhoisRecord]:
+        alloc = self._world.plan.owner_of(ip)
+        if alloc is None:
+            return None
+        if self._faults is not None and self._faults.whois_gap(key):
+            return None
+        asn: Optional[ASN] = alloc.owner_asn if alloc.owner_asn else None
+        # Some RIR records carry only a holder name, no ASN.  The draw is
+        # keyed per /24 so the registry is identical for any lookup order.
+        if asn is not None and keyed_uniform(
+            "whois", self._seed, key
+        ) >= self._asn_coverage:
+            asn = None
+        if (
+            asn is not None
+            and self._faults is not None
+            and self._faults.whois_nameonly(key)
+        ):
+            asn = None
+        return WhoisRecord(holder_name=alloc.holder_name, asn=asn)
 
     def owner_asn(self, ip: IPv4) -> Optional[ASN]:
         record = self.lookup(ip)

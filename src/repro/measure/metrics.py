@@ -177,6 +177,10 @@ class StudyMetrics:
         self.stages: Dict[str, float] = {}
         #: campaign label -> its progress/throughput record.
         self.campaigns: Dict[str, CampaignProgress] = {}
+        #: inter-source dataset disagreements (validation + annotations).
+        self.dataset_disagreements: int = 0
+        #: final inferences flagged below the annotation-confidence floor.
+        self.low_confidence_inferences: int = 0
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -230,3 +234,20 @@ class StudyMetrics:
     def degraded(self) -> bool:
         """True when any campaign delivered less than it expected."""
         return any(p.completeness < 1.0 for p in self.campaigns.values())
+
+    # --- data-quality rollups -----------------------------------------
+
+    def note_data_quality(
+        self, disagreements: int, low_confidence: int
+    ) -> None:
+        """Record the data-plane dirt the quality pass observed."""
+        self.dataset_disagreements = disagreements
+        self.low_confidence_inferences = low_confidence
+
+    @property
+    def data_degraded(self) -> bool:
+        """True when dataset sources disagreed or inferences were flagged."""
+        return (
+            self.dataset_disagreements > 0
+            or self.low_confidence_inferences > 0
+        )

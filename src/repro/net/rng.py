@@ -25,6 +25,16 @@ def make_rng(seed: int, *salt: object) -> random.Random:
     return random.Random((seed, tuple(str(s) for s in salt)).__repr__())
 
 
+def keyed_uniform(label: str, seed: int, *key: object) -> float:
+    """A uniform [0, 1) draw that is a pure function of ``(label, seed, key)``.
+
+    Dataset derivations use this instead of a shared sequential RNG so a
+    record's fate is keyed to its *identity* (prefix, ASN, /24), never to
+    construction or lookup order -- the digest contract depends on it.
+    """
+    return random.Random(repr((label, seed) + key)).random()
+
+
 def bounded_lognormal(
     rng: random.Random, mean: float, sigma: float, lo: int, hi: int
 ) -> int:

@@ -27,6 +27,30 @@ class TestParser:
         assert args.progress
         assert build_parser().parse_args([]).workers == 1
 
+    def test_data_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "--data-fault-plan", "whois-gap=0.2,seed=3",
+                "--min-confidence", "0.8",
+                "--sensitivity",
+            ]
+        )
+        assert args.data_fault_plan == "whois-gap=0.2,seed=3"
+        assert args.min_confidence == 0.8
+        assert args.sensitivity
+        assert build_parser().parse_args([]).data_fault_plan is None
+        assert build_parser().parse_args([]).min_confidence == 0.0
+
+    def test_sensitivity_requires_a_plan(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--sensitivity"])
+        assert "--data-fault-plan" in capsys.readouterr().err
+
+    def test_bad_data_fault_plan_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--data-fault-plan", "bogus=1"])
+        assert "unknown data-fault-plan key" in capsys.readouterr().err
+
 
 class TestMain:
     def test_tiny_run(self, capsys):
@@ -60,6 +84,27 @@ class TestMain:
         captured = capsys.readouterr()
         assert "campaign throughput:" in captured.out
         assert "round1:" in captured.err
+
+    def test_dirty_run_with_sensitivity(self, capsys):
+        code = main(
+            [
+                "--scale", "0.01",
+                "--seed", "13",
+                "--expansion-stride", "16",
+                "--skip-vpi",
+                "--skip-crossval",
+                "--data-fault-plan",
+                "bgp-stale=0.1,moas=0.1,whois-gap=0.2,ixp-conflict=0.2,seed=2",
+                "--min-confidence", "0.8",
+                "--sensitivity",
+                "--digest",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data quality:" in out
+        assert "sensitivity (clean -> dirty paper-table deltas):" in out
+        assert "study digest:" in out
 
     def test_run_with_evaluation(self, capsys):
         code = main(

@@ -9,7 +9,10 @@ Every run here must reproduce that digest bit-for-bit:
 * parallel runs at workers = 2 and 4,
 * a run under an injected transport-fault plan with retries,
 * a run degraded by a poisoned shard, then killed and ``--resume``-d
-  from its checkpoint journal under a clean plan.
+  from its checkpoint journal under a clean plan,
+* runs under a fixed ``DataFaultPlan`` (dirty datasets), which must be
+  digest-stable across worker counts and shuffled lookup order while
+  differing from the clean digest.
 
 If an intentional change to the world model or inference shifts these
 outputs, regenerate the snapshot (the ``world``/``config`` keys in the
@@ -25,6 +28,7 @@ import pytest
 
 from repro import (
     AmazonPeeringStudy,
+    DataFaultPlan,
     FaultPlan,
     StudyConfig,
     WorldConfig,
@@ -32,6 +36,18 @@ from repro import (
 )
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_study.json"
+
+#: the fixed dirty-dataset schedule the degradation tests run under.
+DIRTY_PLAN = DataFaultPlan(
+    seed=1,
+    bgp_stale_rate=0.1,
+    moas_rate=0.05,
+    as2org_drop_rate=0.1,
+    ixp_member_drop_rate=0.2,
+    ixp_member_conflict_rate=0.1,
+    whois_gap_rate=0.2,
+    whois_nameonly_rate=0.3,
+)
 
 
 @pytest.fixture(scope="module")
@@ -141,3 +157,75 @@ def test_quarantined_then_resumed_run_matches_golden(
     assert resumed.metrics.total_resumed > 0
     assert not resumed.metrics.degraded
     assert resumed.round1_stats.lost_probes == 0
+
+
+# --- dirty datasets ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def dirty_serial(golden, golden_world):
+    """The reference dirty run: serial, fixed DataFaultPlan."""
+    return AmazonPeeringStudy(
+        golden_world,
+        _config(golden, data_fault_plan=DIRTY_PLAN, min_confidence=0.8),
+    ).run()
+
+
+def test_dirty_run_diverges_from_clean_but_reports_quality(
+    golden, dirty_serial
+):
+    """The plan must actually inject dirt, and the report must show it."""
+    assert dirty_serial.digest() != golden["digest"]
+    dq = dirty_serial.data_quality
+    assert dq is not None
+    assert dq.fault_plan == DIRTY_PLAN
+    assert dq.validation is not None
+    assert dq.total_disagreements > 0
+    assert dq.mean_confidence < 1.0
+
+    from repro import render_report
+
+    report = render_report(dirty_serial)
+    assert "data quality:" in report
+    assert "disagreements" in report
+    assert "flagged below min-confidence" in report
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_dirty_run_digest_stable_across_workers(
+    golden, golden_world, dirty_serial, workers
+):
+    result = AmazonPeeringStudy(
+        golden_world,
+        _config(
+            golden,
+            workers=workers,
+            data_fault_plan=DIRTY_PLAN,
+            min_confidence=0.8,
+        ),
+    ).run()
+    assert result.digest() == dirty_serial.digest()
+
+
+def test_dirty_run_digest_stable_under_shuffled_lookup_order(
+    golden, golden_world, dirty_serial
+):
+    """Pre-warming dataset caches in a shuffled order must change nothing.
+
+    The dataset views draw per-key randomness, so the order lookups
+    happen in (and therefore the order caches fill in) must not leak
+    into any derived view or the final digest.
+    """
+    import random
+
+    study = AmazonPeeringStudy(
+        golden_world,
+        _config(golden, data_fault_plan=DIRTY_PLAN, min_confidence=0.8),
+    )
+    ips = list(golden_world.interfaces)
+    random.Random(99).shuffle(ips)
+    for ip in ips:
+        study.whois.lookup(ip)
+        study.annotator_r1.annotate(ip)
+    result = study.run()
+    assert result.digest() == dirty_serial.digest()
