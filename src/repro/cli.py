@@ -4,6 +4,7 @@
 
     repro-study --scale 0.05 --seed 7
     python -m repro --scale 0.1 --expansion-stride 4 --with-bdrmap
+    python -m repro lint src/repro          # determinism & purity auditor
 """
 
 from __future__ import annotations
@@ -105,6 +106,14 @@ def _progress_printer(min_interval: float = 0.5):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Subcommand dispatch: `repro lint [paths...]` runs the
+        # determinism & purity auditor instead of the study.
+        from repro.devtools.reprolint import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -48,7 +48,7 @@ from repro.measure.campaign import ProbeCampaign
 from repro.measure.checkpoint import CheckpointStore
 from repro.measure.dnslookup import ReverseDNS
 from repro.measure.executor import RetryPolicy
-from repro.measure.metrics import ProgressCallback, StudyMetrics
+from repro.measure.metrics import CampaignProgress, ProgressCallback, StudyMetrics
 from repro.measure.ping import Pinger
 from repro.measure.reachability import PublicVantagePoint
 from repro.measure.traceroute import TracerouteEngine
@@ -161,7 +161,7 @@ class AmazonPeeringStudy:
         # The legacy timers dict now aliases the metrics stage table.
         result.runtime_seconds = metrics.stages
 
-        def campaign_progress(label: str):
+        def campaign_progress(label: str) -> CampaignProgress:
             return metrics.campaign(label, callback=self.progress_callback)
 
         # Dataset cross-validation, *before* any probing: how much do the
@@ -477,5 +477,5 @@ def _coerce_config(
             DeprecationWarning,
             stacklevel=3,
         )
-        config = config.replace(**legacy)  # type: ignore[arg-type]
+        config = config.replace(**legacy)
     return config

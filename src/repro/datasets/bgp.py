@@ -115,6 +115,7 @@ def snapshot_from_world(
     """Derive the public BGP view of a world at round ``label``."""
     announcements: List[Announcement] = []
     # Cloud blocks.
+    # reprolint: disable=REP002 -- announcements are consumed as an order-insensitive set; BGPSnapshot indexes by prefix
     for cloud, blocks in world.cloud_announced_blocks.items():
         asn = _cloud_asn(cloud)
         for block in blocks:
@@ -136,6 +137,7 @@ def snapshot_from_world(
                 announcements.append(Announcement(alloc.prefix, alloc.owner_asn))
 
     links: Set[Tuple[ASN, ASN]] = set()
+    # reprolint: disable=REP002 -- membership goes into a set of AS pairs; iteration order cannot leak into the snapshot
     for icx in world.interconnections.values():
         if icx.bgp_visible:
             links.add((AMAZON_PRIMARY_ASN, icx.peer_asn))

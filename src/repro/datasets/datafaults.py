@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.net.asn import ASN
 from repro.net.ip import IPv4, Prefix
@@ -199,8 +199,8 @@ class DataFaultPlan:
 
     # ------------------------------------------------------------------
 
-    def replace(self, **changes: object) -> "DataFaultPlan":
-        return replace(self, **changes)  # type: ignore[arg-type]
+    def replace(self, **changes: Any) -> "DataFaultPlan":
+        return replace(self, **changes)
 
     def describe(self) -> str:
         """Compact human-readable summary for reports and provenance."""
@@ -246,7 +246,7 @@ class DataFaultPlan:
             "whois-nameonly": "whois_nameonly_rate",
             "whois_nameonly": "whois_nameonly_rate",
         }
-        kwargs: Dict[str, object] = {}
+        kwargs: Dict[str, Any] = {}
         spec = spec.strip()
         if not spec:
             return cls()
@@ -267,4 +267,4 @@ class DataFaultPlan:
                 kwargs[aliases[key]] = float(value)
             else:
                 raise ValueError(f"unknown data-fault-plan key: {key!r}")
-        return cls(**kwargs)  # type: ignore[arg-type]
+        return cls(**kwargs)

@@ -9,12 +9,12 @@ exactly the texture the paper's conservative heuristics tolerate.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.asn import ASN
 from repro.net.ip import IPv4, Prefix
+from repro.net.rng import keyed_uniform
 from repro.world.model import World
 
 
@@ -109,7 +109,6 @@ def peeringdb_from_world(
     netixlan_coverage: float = 0.92,
     tenant_coverage: float = 0.35,
 ) -> PeeringDB:
-    rng = random.Random(repr(("peeringdb", seed)))
     ixps = [
         PDBIXP(
             ixp_id=ixp.ixp_id,
@@ -119,16 +118,24 @@ def peeringdb_from_world(
         )
         for ixp in world.ixps.values()
     ]
+    # Whether a record is listed is keyed to the record's identity, never
+    # to a shared draw sequence: any construction order of the same world
+    # yields the identical registry (the digest contract depends on it).
     netixlans: List[PDBNetixlan] = []
     for ixp in world.ixps.values():
         for asn, ips in sorted(ixp.member_ips.items()):
             for ip in ips:
-                if rng.random() < netixlan_coverage:
+                if keyed_uniform(
+                    "peeringdb-netixlan", seed, ixp.ixp_id, asn, ip
+                ) < netixlan_coverage:
                     netixlans.append(PDBNetixlan(ixp_id=ixp.ixp_id, asn=asn, ip=ip))
     facilities: List[PDBFacility] = []
     for fac in world.facilities.values():
         listed = {
-            asn for asn in fac.tenant_asns if rng.random() < tenant_coverage
+            asn
+            for asn in sorted(fac.tenant_asns)
+            if keyed_uniform("peeringdb-tenant", seed, fac.facility_id, asn)
+            < tenant_coverage
         }
         facilities.append(
             PDBFacility(

@@ -1,0 +1,26 @@
+"""Developer tooling that enforces the repo's determinism contract.
+
+The load-bearing guarantee of this codebase is bit-for-bit
+reproducibility: the golden study digest must be identical across worker
+counts, fault plans, and dataset lookup orders.  The invariants that make
+that true (keyed RNG draws, frozen configs, sorted iteration on digest
+paths) used to be enforced by convention only; :mod:`repro.devtools`
+turns them into a mechanical check.
+
+* :mod:`repro.devtools.rules` -- the REP001..REP006 AST rules.
+* :mod:`repro.devtools.reprolint` -- config loading, file walking,
+  disable-comment handling, and the ``repro lint`` CLI.
+* :mod:`repro.devtools.report` -- human and machine-readable renderers.
+"""
+
+from repro.devtools.reprolint import LintConfig, lint_paths, lint_source
+from repro.devtools.rules import Finding, RULES, RuleSpec
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "RuleSpec",
+    "lint_paths",
+    "lint_source",
+]

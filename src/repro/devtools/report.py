@@ -1,0 +1,57 @@
+"""Renderers for reprolint findings: terminal text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.devtools.rules import RULES, Finding
+
+__all__ = ["render_text", "render_json", "summarize"]
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Finding count per rule code, sorted by code."""
+    counts: Dict[str, int] = {}
+    for finding in sorted(findings, key=lambda f: f.code):
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+    """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    lines: List[str] = []
+    for f in ordered:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}")
+        lines.append(f"    hint: {f.fix_hint}")
+    if findings:
+        per_rule = ", ".join(
+            f"{code} x{count}" for code, count in summarize(findings).items()
+        )
+        lines.append("")
+        lines.append(
+            f"reprolint: {len(findings)} finding(s) in "
+            f"{len({f.path for f in findings})} file(s) "
+            f"({files_checked} checked): {per_rule}"
+        )
+    else:
+        lines.append(f"reprolint: clean ({files_checked} file(s) checked)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+    """Stable machine-readable output for CI annotation tooling."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    payload = {
+        "version": 1,
+        "files_checked": files_checked,
+        "counts": summarize(findings),
+        "rules": {
+            code: {"title": spec.title, "rationale": spec.rationale}
+            for code, spec in sorted(RULES.items())
+            if any(f.code == code for f in findings)
+        },
+        "findings": [f.as_dict() for f in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,424 @@
+"""reprolint: the determinism & purity auditor's driver and CLI.
+
+Walks Python files, runs the :mod:`repro.devtools.rules` AST checks that
+apply to each path, honours ``# reprolint: disable=`` escape hatches,
+and renders findings as text or JSON.  Invoked as::
+
+    PYTHONPATH=src python -m repro lint src/repro
+    PYTHONPATH=src python -m repro lint --format json src/repro/datasets
+
+Exit status: 0 clean, 1 findings, 2 usage/config errors.
+
+Path scoping
+------------
+Rules are scoped per path prefix through ``[tool.reprolint]`` in
+``pyproject.toml`` (mirrored by :data:`DEFAULT_CONFIG` so the tool works
+without one).  A rule with no entry applies everywhere scanned.  The
+repo's scoping encodes the architecture: REP001 covers the dataset /
+measurement / inference layers where draws are lazy or lookup-ordered,
+but not ``world/`` -- the world builder owns one serial RNG *by
+contract* (single-threaded, fixed construction order) -- and not
+``net/rng.py``, which implements the keyed helpers themselves.
+
+Escape hatch
+------------
+``# reprolint: disable=REP001 -- justification`` on the finding's line
+(or alone on the line above) suppresses that rule there.  The
+justification is mandatory: a bare ``disable=`` suppresses nothing and
+is itself reported as REP000, so every exception is a documented one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.devtools.report import render_json, render_text
+from repro.devtools.rules import (
+    Finding,
+    RuleContext,
+    RULES,
+    all_rule_codes,
+    run_rule,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which paths are scanned and which rules apply where.
+
+    All path entries are prefixes relative to ``root`` (the directory of
+    the ``pyproject.toml`` they came from, or the CWD for the builtin
+    defaults).  An empty ``rule_paths`` entry for a code means the rule
+    runs on every scanned file.
+    """
+
+    root: str = "."
+    paths: Tuple[str, ...] = ("src/repro",)
+    exclude: Tuple[str, ...] = ()
+    rule_paths: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    rule_exclude: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def _matches(self, rel_path: str, prefixes: Sequence[str]) -> bool:
+        norm = rel_path.replace(os.sep, "/")
+        for prefix in prefixes:
+            p = prefix.rstrip("/")
+            if norm == p or norm.startswith(p + "/"):
+                return True
+        return False
+
+    def codes_for(self, rel_path: str) -> Tuple[str, ...]:
+        """The rule codes that apply to one file (repo-relative path)."""
+        codes: List[str] = []
+        for code in all_rule_codes():
+            applies = self.rule_paths.get(code)
+            if applies and not self._matches(rel_path, applies):
+                continue
+            excluded = self.rule_exclude.get(code)
+            if excluded and self._matches(rel_path, excluded):
+                continue
+            codes.append(code)
+        return tuple(codes)
+
+    def is_excluded(self, rel_path: str) -> bool:
+        return self._matches(rel_path, self.exclude)
+
+
+#: The repo's scoping, mirrored from ``[tool.reprolint]`` in
+#: ``pyproject.toml`` so the tool behaves identically without one.
+DEFAULT_CONFIG = LintConfig(
+    root=".",
+    paths=("src/repro",),
+    exclude=(),
+    rule_paths={
+        "REP001": (
+            "src/repro/datasets",
+            "src/repro/core",
+            "src/repro/measure",
+            "src/repro/analysis",
+        ),
+        "REP003": (
+            "src/repro/core/config.py",
+            "src/repro/measure/faults.py",
+            "src/repro/datasets/datafaults.py",
+        ),
+        "REP004": ("src/repro/measure", "src/repro/core"),
+    },
+    rule_exclude={
+        "REP001": ("src/repro/net/rng.py",),
+    },
+)
+
+
+def load_config(pyproject_path: Optional[str] = None) -> LintConfig:
+    """Read ``[tool.reprolint]`` from a pyproject, or fall back to defaults.
+
+    On Python < 3.11 (no ``tomllib``) the builtin :data:`DEFAULT_CONFIG`
+    is used; the two are kept in sync by ``tests/test_reprolint.py``.
+    """
+    if pyproject_path is None:
+        candidate = os.path.join(os.getcwd(), "pyproject.toml")
+        if not os.path.isfile(candidate):
+            return DEFAULT_CONFIG
+        pyproject_path = candidate
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        return DEFAULT_CONFIG
+    with open(pyproject_path, "rb") as fh:
+        data = tomllib.load(fh)
+    section = data.get("tool", {}).get("reprolint")
+    if section is None:
+        return DEFAULT_CONFIG
+    root = os.path.dirname(os.path.abspath(pyproject_path))
+    return LintConfig(
+        root=root,
+        paths=tuple(section.get("paths", DEFAULT_CONFIG.paths)),
+        exclude=tuple(section.get("exclude", ())),
+        rule_paths={
+            code: tuple(paths)
+            for code, paths in section.get("rule_paths", {}).items()
+        },
+        rule_exclude={
+            code: tuple(paths)
+            for code, paths in section.get("rule_exclude", {}).items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# disable comments
+# ----------------------------------------------------------------------
+
+_DISABLE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Z0-9,\s]+?)"
+    r"(?:\s+--\s*(?P<why>\S.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class _Disable:
+    line: int
+    codes: Tuple[str, ...]
+    justified: bool
+    standalone: bool  # the line holds only the comment
+
+
+def _scan_disables(source_lines: Sequence[str]) -> List[_Disable]:
+    disables: List[_Disable] = []
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            c.strip() for c in match.group("codes").split(",") if c.strip()
+        )
+        disables.append(
+            _Disable(
+                line=lineno,
+                codes=codes,
+                justified=match.group("why") is not None,
+                standalone=text.lstrip().startswith("#"),
+            )
+        )
+    return disables
+
+
+def _apply_disables(
+    findings: Sequence[Finding],
+    disables: Sequence[_Disable],
+    path: str,
+) -> List[Finding]:
+    """Suppress justified disables; report unjustified ones as REP000."""
+    suppressing: Dict[int, Set[str]] = {}
+    out: List[Finding] = []
+    for d in disables:
+        if not d.justified:
+            out.append(
+                Finding(
+                    code="REP000",
+                    path=path,
+                    line=d.line,
+                    col=0,
+                    message=(
+                        "disable comment without a justification: write "
+                        "`# reprolint: disable="
+                        + ",".join(d.codes)
+                        + " -- <why this exception is sound>` (an "
+                        "unjustified disable suppresses nothing)"
+                    ),
+                    fix_hint="append ` -- <justification>` or fix the "
+                    "underlying finding",
+                )
+            )
+            continue
+        suppressing.setdefault(d.line, set()).update(d.codes)
+        if d.standalone:
+            # A comment alone on a line covers the next line.
+            suppressing.setdefault(d.line + 1, set()).update(d.codes)
+    for f in findings:
+        if f.code in suppressing.get(f.line, ()):
+            continue
+        out.append(f)
+    return out
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    codes: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one source string with the given rules (default: all)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="REP000",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+                fix_hint="fix the syntax error; reprolint checks need a "
+                "valid AST",
+            )
+        ]
+    source_lines = tuple(source.splitlines())
+    ctx = RuleContext(path=path, tree=tree, source_lines=source_lines)
+    findings: List[Finding] = []
+    for code in codes if codes is not None else all_rule_codes():
+        findings.extend(run_rule(code, ctx))
+    return _apply_disables(findings, _scan_disables(source_lines), path)
+
+
+def lint_file(
+    abs_path: str, rel_path: str, config: LintConfig
+) -> List[Finding]:
+    """Lint one file under the config's rule scoping."""
+    codes = config.codes_for(rel_path)
+    if not codes:
+        return []
+    with open(abs_path, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path=rel_path, codes=codes)
+
+
+def _walk_python_files(
+    paths: Sequence[str], config: LintConfig
+) -> List[Tuple[str, str]]:
+    """(absolute, repo-relative) pairs, sorted for stable output."""
+    found: Dict[str, str] = {}
+    for entry in paths:
+        abs_entry = (
+            entry
+            if os.path.isabs(entry)
+            else os.path.join(config.root, entry)
+        )
+        if os.path.isfile(abs_entry):
+            rel = os.path.relpath(abs_entry, config.root)
+            found[os.path.abspath(abs_entry)] = rel
+            continue
+        for dirpath, dirnames, filenames in os.walk(abs_entry):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                abs_path = os.path.join(dirpath, name)
+                rel = os.path.relpath(abs_path, config.root)
+                found[os.path.abspath(abs_path)] = rel
+    return sorted(
+        (
+            (abs_path, rel)
+            for abs_path, rel in found.items()
+            if not config.is_excluded(rel)
+        ),
+        key=lambda pair: pair[1],
+    )
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns (findings, files_checked)."""
+    config = config or DEFAULT_CONFIG
+    files = _walk_python_files(paths or config.paths, config)
+    findings: List[Finding] = []
+    for abs_path, rel_path in files:
+        codes = config.codes_for(rel_path)
+        if rules is not None:
+            codes = tuple(c for c in codes if c in rules)
+        if not codes:
+            continue
+        with open(abs_path, encoding="utf-8") as fh:
+            source = fh.read()
+        findings.extend(lint_source(source, path=rel_path, codes=codes))
+    return findings, len(files)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based determinism & purity auditor for the repro tree "
+            "(rules REP001..REP006; see DESIGN.md 'Determinism contract')"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.reprolint] "
+        "paths, i.e. src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--rules",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated subset of rules to run, e.g. REP001,REP005",
+    )
+    parser.add_argument(
+        "--config",
+        type=str,
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.reprolint] from "
+        "(default: ./pyproject.toml if present)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code in all_rule_codes():
+            spec = RULES[code]
+            print(f"{code}  {spec.title}")
+            print(f"        why: {spec.rationale}")
+            print(f"        fix: {spec.fix_hint}")
+        return 0
+    rules: Optional[Tuple[str, ...]] = None
+    if args.rules:
+        rules = tuple(code.strip() for code in args.rules.split(",") if code.strip())
+        unknown = [code for code in rules if code not in RULES]
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(all_rule_codes())})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        config = load_config(args.config)
+    except OSError as exc:
+        print(f"repro lint: cannot read config: {exc}", file=sys.stderr)
+        return 2
+    findings, files_checked = lint_paths(
+        args.paths or None, config=config, rules=rules
+    )
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, files_checked=files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

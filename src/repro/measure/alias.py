@@ -14,10 +14,10 @@ The resolver never reveals router identity -- only interface groupings.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.net.ip import IPv4
+from repro.net.rng import keyed_uniform
 from repro.world.model import World
 
 
@@ -58,7 +58,7 @@ class AliasResolver:
     ) -> None:
         self.world = world
         self.pair_discovery_rate = pair_discovery_rate
-        self._rng = random.Random(repr(("alias", seed)))
+        self._seed = seed
 
     def _visible_from(self, region: str, ip: IPv4) -> bool:
         iface = self.world.interfaces.get(ip)
@@ -84,7 +84,6 @@ class AliasResolver:
             by_router.setdefault(iface.router_id, []).append(ip)
 
         uf = _UnionFind()
-        rng = self._rng
         for _rid, ips in sorted(by_router.items()):
             if len(ips) < 2:
                 continue
@@ -92,8 +91,11 @@ class AliasResolver:
                 visible = [ip for ip in ips if self._visible_from(region, ip)]
                 if len(visible) < 2:
                     continue
-                # MIDAR chains pairwise tests; one pass per region.
+                # MIDAR chains pairwise tests; one pass per region.  Each
+                # pair's outcome is keyed to (region, a, b) so discovery
+                # never depends on which campaign asked first.
                 for a, b in zip(visible, visible[1:]):
-                    if rng.random() < self.pair_discovery_rate:
+                    draw = keyed_uniform("alias", self._seed, region, a, b)
+                    if draw < self.pair_discovery_rate:
                         uf.union(a, b)
         return sorted(uf.groups(), key=lambda g: (-len(g), min(g)))

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 _FORMAT_VERSION = 1
 
@@ -43,7 +43,7 @@ class CampaignCheckpoint:
     def __init__(self, path: Union[str, Path], fingerprint: str, resume: bool = True) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
-        self._shards: Dict[int, list] = {}
+        self._shards: Dict[int, Sequence[Any]] = {}
         self.stale = False  # an existing journal was discarded
         if resume:
             self._load()
@@ -106,10 +106,10 @@ class CampaignCheckpoint:
     def has(self, shard_index: int) -> bool:
         return shard_index in self._shards
 
-    def get(self, shard_index: int) -> Optional[list]:
+    def get(self, shard_index: int) -> Optional[Sequence[Any]]:
         return self._shards.get(shard_index)
 
-    def put(self, shard_index: int, packed: object) -> None:
+    def put(self, shard_index: int, packed: Sequence[Any]) -> None:
         """Journal one completed shard (append + flush, torn-write safe)."""
         if shard_index in self._shards:
             return
@@ -117,7 +117,7 @@ class CampaignCheckpoint:
             json.dump({"shard": shard_index, "packed": packed}, fh)
             fh.write("\n")
             fh.flush()
-        self._shards[shard_index] = packed  # type: ignore[assignment]
+        self._shards[shard_index] = packed
 
 
 class CheckpointStore:

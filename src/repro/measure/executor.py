@@ -49,7 +49,16 @@ import math
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.measure.checkpoint import CampaignCheckpoint, CheckpointStore
 from repro.measure.faults import FaultPlan
@@ -58,6 +67,12 @@ from repro.measure.sink import ProbeSink, SinkLike, as_sink, close_sink
 from repro.measure.traceroute import TraceHop, Traceroute, TracerouteEngine
 from repro.net.ip import IPv4
 from repro.world.model import World
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+    from multiprocessing.pool import AsyncResult
+
+    from repro.measure.campaign import CampaignStats, CloudMembership
 
 #: Target shards per worker per region; >1 keeps the pool load-balanced
 #: when shard runtimes are uneven without drowning in pickling overhead.
@@ -158,7 +173,9 @@ def plan_shards(
 # cross the process boundary.
 # ----------------------------------------------------------------------
 
-_WORKER_STATE: Optional[Tuple[TracerouteEngine, "object", str, Optional[FaultPlan]]] = None
+_WORKER_STATE: Optional[
+    Tuple[TracerouteEngine, "CloudMembership", str, Optional[FaultPlan]]
+] = None
 
 
 def _init_worker(
@@ -179,7 +196,7 @@ def _init_worker(
     _WORKER_STATE = (engine, CloudMembership(world, cloud), cloud, transport_faults)
 
 
-def _trace_shard_in_worker(shard: Shard, attempt: int = 0) -> tuple:
+def _trace_shard_in_worker(shard: Shard, attempt: int = 0) -> Tuple[Any, ...]:
     assert _WORKER_STATE is not None, "pool initializer did not run"
     engine, membership, cloud, faults = _WORKER_STATE
     return _pack_result(
@@ -187,7 +204,7 @@ def _trace_shard_in_worker(shard: Shard, attempt: int = 0) -> tuple:
     )
 
 
-def _pack_result(result: ShardResult) -> tuple:
+def _pack_result(result: ShardResult) -> Tuple[Any, ...]:
     """Compact wire format: tuples pickle ~2x smaller and faster than the
     trace dataclasses, which matters at millions of probes per round.
     The same format is JSON-safe, so checkpoints journal it verbatim."""
@@ -207,7 +224,7 @@ def _pack_result(result: ShardResult) -> tuple:
     )
 
 
-def _unpack_result(packed: Sequence, cloud: str) -> ShardResult:
+def _unpack_result(packed: Sequence[Any], cloud: str) -> ShardResult:
     index, region, seconds, rows = packed
     items = [
         (
@@ -227,7 +244,7 @@ def _unpack_result(packed: Sequence, cloud: str) -> ShardResult:
 
 def trace_shard(
     engine: TracerouteEngine,
-    membership,
+    membership: "CloudMembership",
     cloud: str,
     shard: Shard,
     faults: Optional[FaultPlan] = None,
@@ -273,7 +290,7 @@ class ShardedExecutor:
         self,
         world: World,
         engine: TracerouteEngine,
-        membership,
+        membership: "CloudMembership",
         cloud: str = "amazon",
         workers: int = 1,
         shard_size: Optional[int] = None,
@@ -295,7 +312,7 @@ class ShardedExecutor:
         self,
         targets: Iterable[IPv4],
         sink: SinkLike,
-        stats,
+        stats: "CampaignStats",
         regions: Sequence[str],
         progress: Optional[CampaignProgress] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
@@ -417,7 +434,7 @@ class ShardedExecutor:
     def _run_shard(
         self,
         shard: Shard,
-        handle,
+        handle: Optional["AsyncResult[Tuple[Any, ...]]"],
         checkpoint: Optional[CampaignCheckpoint],
         progress: Optional[CampaignProgress],
     ) -> Optional[ShardResult]:
@@ -476,7 +493,7 @@ class ShardedExecutor:
     def _merge(
         pairs: Iterator[Tuple[Shard, Optional[ShardResult]]],
         sink: ProbeSink,
-        stats,
+        stats: "CampaignStats",
         progress: Optional[CampaignProgress],
     ) -> None:
         """Consume shard results in submission order -- the serial order."""
@@ -505,7 +522,7 @@ def _describe_error(exc: Exception) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _pool_context():
+def _pool_context() -> "BaseContext":
     """Prefer fork (cheap world sharing); fall back to the default."""
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: Rate-limit windows open somewhere in TTLs [2, 2 + WINDOW_SPREAD).
 _WINDOW_SPREAD = 8
@@ -190,8 +190,8 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
 
-    def replace(self, **changes: object) -> "FaultPlan":
-        return replace(self, **changes)  # type: ignore[arg-type]
+    def replace(self, **changes: Any) -> "FaultPlan":
+        return replace(self, **changes)
 
     def describe(self) -> str:
         """Compact human-readable summary for reports and provenance."""
@@ -226,7 +226,7 @@ class FaultPlan:
         ``poison=3;7,seed=1"`` -- keys may appear in any order; unknown
         keys raise ``ValueError``.
         """
-        kwargs: Dict[str, object] = {}
+        kwargs: Dict[str, Any] = {}
         spec = spec.strip()
         if not spec:
             return cls()
@@ -271,4 +271,4 @@ class FaultPlan:
                 kwargs["rate_limit_window"] = int(value)
             else:
                 raise ValueError(f"unknown fault-plan key: {key!r}")
-        return cls(**kwargs)  # type: ignore[arg-type]
+        return cls(**kwargs)

@@ -26,7 +26,7 @@ class Pinger:
     def __init__(self, world: World, seed: int = 0, samples: int = 6) -> None:
         self.world = world
         self.samples = samples
-        self._rng = random.Random(repr(("ping", seed)))
+        self._seed = seed
         self._cache: Dict[Tuple[str, str, IPv4], Optional[float]] = {}
 
     def min_rtt(self, cloud: str, region: str, ip: IPv4) -> Optional[float]:
@@ -53,8 +53,12 @@ class Pinger:
         if base is None:
             return None
         jitter = self.world.config.ping_jitter_ms
+        # A private RNG keyed to the probed interface: the min-RTT of a
+        # (cloud, region, ip) triple is a function of the triple alone,
+        # not of how many other interfaces were measured first.
+        rng = random.Random(repr(("ping", self._seed, cloud, region, ip)))
         best = min(
-            self._rng.expovariate(1.0 / max(jitter, 1e-6))
+            rng.expovariate(1.0 / max(jitter, 1e-6))
             for _ in range(self.samples)
         )
         return base + PROCESSING_FLOOR_MS + best

@@ -8,10 +8,10 @@ that observable.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, Optional
 
 from repro.net.ip import IPv4
+from repro.net.rng import keyed_uniform
 from repro.world.model import World
 
 
@@ -31,7 +31,7 @@ class PublicVantagePoint:
         self.loss_rate = (
             world.config.probe_loss_rate if loss_rate is None else loss_rate
         )
-        self._rng = random.Random(repr(("public-vp", seed)))
+        self._seed = seed
         self._cache: Dict[IPv4, bool] = {}
 
     def reachable(self, ip: IPv4) -> bool:
@@ -40,11 +40,13 @@ class PublicVantagePoint:
         if cached is not None:
             return cached
         iface = self.world.interfaces.get(ip)
+        # Loss is keyed to the probed address so the answer survives any
+        # probing order (the cache is then a pure memo, not a tiebreak).
         value = (
             iface is not None
             and iface.responsive
             and ip in self.world.publicly_reachable
-            and self._rng.random() >= self.loss_rate
+            and keyed_uniform("public-vp", self._seed, ip) >= self.loss_rate
         )
         self._cache[ip] = value
         return value

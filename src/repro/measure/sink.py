@@ -38,8 +38,8 @@ SinkLike = Union[ProbeSink, Callable[[Traceroute], None]]
 
 def as_sink(obj: SinkLike) -> ProbeSink:
     """Coerce ``obj`` to a :class:`ProbeSink` (callables get wrapped)."""
-    if hasattr(obj, "consume"):
-        return obj  # type: ignore[return-value]
+    if isinstance(obj, ProbeSink):
+        return obj
     if callable(obj):
         return CallbackSink(obj)
     raise TypeError(f"not a ProbeSink or callable: {obj!r}")

@@ -88,7 +88,6 @@ class TracerouteEngine:
         self._probe_faults = (
             faults if faults is not None and faults.affects_probes else None
         )
-        self._rng = random.Random(repr(("traceroute", seed)))
         # Pre-fetch per-router data the hot loop needs.
         self._router_role = {
             rid: r.role for rid, r in world.routers.items()

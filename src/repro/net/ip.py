@@ -115,7 +115,7 @@ class Prefix:
 
     def __contains__(self, addr: object) -> bool:
         if not isinstance(addr, int):
-            return NotImplemented  # type: ignore[return-value]
+            return False
         return self.network <= addr <= self.last
 
     def contains_prefix(self, other: "Prefix") -> bool:

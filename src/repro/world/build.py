@@ -10,6 +10,7 @@ deterministic in ``(seed, config)``.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -220,7 +221,9 @@ def _carve_cloud_blocks(world: World, plan: AddressPlan, pools: _Pools) -> None:
     pools.transit = AddressPool(transit_block)
 
 
-def _build_facilities(world: World, ids: IdSource, rng, config: WorldConfig) -> Dict[str, List[int]]:
+def _build_facilities(
+    world: World, ids: IdSource, rng: random.Random, config: WorldConfig
+) -> Dict[str, List[int]]:
     """Facilities per metro; Amazon is native at region + DX metros."""
     amazon_metros = {code for _r, code in CLOUD_SPECS["amazon"].region_metros}
     dx = list(AMAZON_DX_METROS[: config.dx_metro_count])
@@ -250,7 +253,7 @@ def _build_facilities(world: World, ids: IdSource, rng, config: WorldConfig) -> 
 def _build_ixps(
     world: World,
     ids: IdSource,
-    rng,
+    rng: random.Random,
     config: WorldConfig,
     plan: AddressPlan,
     pools: _Pools,
@@ -278,7 +281,7 @@ def _build_ixps(
 
 
 def _build_amazon_regions(
-    world: World, ids: IdSource, rng, config: WorldConfig, pools: _Pools
+    world: World, ids: IdSource, rng: random.Random, config: WorldConfig, pools: _Pools
 ) -> None:
     spec = CLOUD_SPECS["amazon"]
     world.regions["amazon"] = {}
@@ -340,7 +343,7 @@ def _build_amazon_regions(
 
 
 def _build_other_cloud_regions(
-    world: World, ids: IdSource, rng, config: WorldConfig, pools: _Pools
+    world: World, ids: IdSource, rng: random.Random, config: WorldConfig, pools: _Pools
 ) -> None:
     for cloud in OTHER_CLOUDS:
         spec = CLOUD_SPECS[cloud]
@@ -422,7 +425,7 @@ class _InterconnectionFactory:
         self,
         world: World,
         ids: IdSource,
-        rng,
+        rng: random.Random,
         config: WorldConfig,
         plan: AddressPlan,
         pools: _Pools,
@@ -800,7 +803,7 @@ class _InterconnectionFactory:
 
 
 def _mirror_vpis_on_other_clouds(
-    world: World, ids: IdSource, rng, config: WorldConfig, pools: _Pools
+    world: World, ids: IdSource, rng: random.Random, config: WorldConfig, pools: _Pools
 ) -> None:
     """Create the other clouds' side of every multi-cloud VPI port."""
     other_pools: Dict[str, AmazonBorderPool] = {}
@@ -863,7 +866,7 @@ def _mirror_vpis_on_other_clouds(
             world.mirror_of[(cloud, icx.icx_id)] = mirror.icx_id
 
 
-def _assign_dns_names(world: World, rng, config: WorldConfig) -> None:
+def _assign_dns_names(world: World, rng: random.Random, config: WorldConfig) -> None:
     for icx in world.interconnections.values():
         if icx.uses_private_addresses:
             continue
@@ -886,7 +889,7 @@ def _assign_dns_names(world: World, rng, config: WorldConfig) -> None:
         )
 
 
-def _assign_visibility(world: World, rng, config: WorldConfig) -> None:
+def _assign_visibility(world: World, rng: random.Random, config: WorldConfig) -> None:
     abis = world.true_abis()
     cbis = world.true_cbis()
     region_metros = [
@@ -913,7 +916,7 @@ def _assign_visibility(world: World, rng, config: WorldConfig) -> None:
             world.ping_region_limit[ip] = {nearest[0]}
 
 
-def _finalize_sweep(world: World, rng, config: WorldConfig) -> None:
+def _finalize_sweep(world: World, rng: random.Random, config: WorldConfig) -> None:
     seen: Set[int] = set()
     unique: List[Prefix] = []
     for p24 in world.sweep_slash24s:

@@ -1,0 +1,5 @@
+"""Disable fixture: a bare disable suppresses nothing (REP000 + REP005)."""
+
+
+def still_flagged(items=[]):  # reprolint: disable=REP005
+    return items

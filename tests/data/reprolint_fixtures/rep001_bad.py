@@ -1,0 +1,32 @@
+"""REP001 fixture: every flavour of order-coupled RNG draw (4 findings)."""
+
+import random
+
+
+def module_level_draw():
+    # the module-level stream is shared by the whole process
+    return random.random()
+
+
+class SharedStream:
+    def __init__(self, seed):
+        self._rng = random.Random(repr(("fixture", seed)))
+
+    def attribute_draw(self):
+        # object-lifetime stream: result depends on prior callers
+        return self._rng.choice([1, 2, 3])
+
+    def aliased_draw(self):
+        rng = self._rng
+        return rng.random()
+
+
+def keyed_rng_in_unordered_loop(seed, members):
+    # the RNG itself is keyed, but drawing inside a loop over an opaque
+    # iterable couples the draw sequence to set/dict iteration order
+    rng = random.Random(repr(("fixture", seed)))
+    out = []
+    for member in members:
+        if rng.random() < 0.5:
+            out.append(member)
+    return out

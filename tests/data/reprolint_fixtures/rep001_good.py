@@ -1,0 +1,35 @@
+"""REP001 fixture: keyed and caller-owned draws (0 findings)."""
+
+import random
+
+
+def keyed_uniform(label, seed, *key):
+    return random.Random(repr((label, seed) + tuple(key))).random()
+
+
+def keyed_per_record(seed, members):
+    # draw keyed to record identity: order-independent by construction
+    return [m for m in members if keyed_uniform("fixture", seed, m) < 0.5]
+
+
+def draw_from_parameter(rng, n):
+    # the caller owns the keying (the net/rng.py helper convention)
+    return [rng.random() for _ in range(n)]
+
+
+def keyed_rng_outside_loop(seed):
+    rng = random.Random(repr(("fixture", seed)))
+    return rng.random()
+
+
+def keyed_rng_in_ordered_loop(seed, n):
+    rng = random.Random(repr(("fixture", seed)))
+    return [rng.random() for _ in range(n)]
+
+
+def keyed_rng_in_sorted_loop(seed, members):
+    out = []
+    for member in sorted(members):
+        rng = random.Random(repr(("fixture", seed, member)))
+        out.append(rng.random())
+    return out

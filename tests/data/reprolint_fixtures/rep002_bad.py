@@ -1,0 +1,18 @@
+"""REP002 fixture: unsorted unordered iteration in digest paths (4 findings)."""
+
+import hashlib
+
+
+def digest_inputs(records):
+    rows = []
+    for rec in set(records):
+        rows.append(rec)
+    names = [r.name for r in records.values()]
+    return tuple(set(rows)), names
+
+
+def innocuous_name(h, table):
+    hasher = hashlib.sha256()
+    for key in table.keys():
+        hasher.update(str(key).encode())
+    return hasher.hexdigest()

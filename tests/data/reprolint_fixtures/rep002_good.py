@@ -1,0 +1,23 @@
+"""REP002 fixture: sorted digest iteration; unsorted off digest paths (0 findings)."""
+
+import hashlib
+
+
+def digest_inputs(records):
+    rows = []
+    for rec in sorted({r for r in records}):
+        rows.append(rec)
+    names = [r.name for r in sorted(records.values())]
+    return tuple(sorted(rows)), names
+
+
+def hashing_sorted(table):
+    hasher = hashlib.sha256()
+    for key in sorted(table.keys()):
+        hasher.update(str(key).encode())
+    return hasher.hexdigest()
+
+
+def plain_aggregation(records):
+    # order-insensitive aggregation: unsorted iteration is fine here
+    return {r for r in records.values()}

@@ -1,0 +1,13 @@
+"""REP003 fixture: mutable dataclasses in a config module (2 findings)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutablePlan:
+    rate: float = 0.0
+
+
+@dataclass(order=True)
+class OrderedButMutable:
+    seed: int = 0

@@ -1,0 +1,13 @@
+"""REP003 fixture: frozen dataclasses and plain classes (0 findings)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrozenPlan:
+    rate: float = 0.0
+
+
+class NotADataclass:
+    def __init__(self, seed):
+        self.seed = seed

@@ -1,0 +1,16 @@
+"""REP004 fixture: wall-clock and environment reads (4 findings)."""
+
+import datetime
+import os
+import time
+
+
+def stamp_result(result):
+    result["at"] = time.time()
+    result["day"] = datetime.datetime.now().isoformat()
+    return result
+
+
+def read_environment():
+    region = os.environ["REGION"]
+    return region, os.getenv("SEED", "0")

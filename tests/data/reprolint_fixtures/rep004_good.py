@@ -1,0 +1,19 @@
+"""REP004 fixture: timing observability only (0 findings).
+
+``perf_counter`` / ``monotonic`` / ``sleep`` are exempt by design: they
+feed timing metrics, which the digest deliberately excludes.
+"""
+
+import time
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def backoff(seconds):
+    deadline = time.monotonic() + seconds
+    time.sleep(seconds)
+    return deadline

@@ -1,0 +1,17 @@
+"""REP005 fixture: mutable default arguments (4 findings)."""
+
+
+def list_default(items=[]):
+    return items
+
+
+def dict_default(index={}):
+    return index
+
+
+def kwonly_set_default(*, seen=set()):
+    return seen
+
+
+def call_default(buf=bytearray()):
+    return buf

@@ -1,0 +1,9 @@
+"""REP005 fixture: safe defaults (0 findings)."""
+
+
+def none_default(items=None):
+    return list(items or ())
+
+
+def immutable_defaults(pair=(), label="x", n=0):
+    return pair, label, n

@@ -1,0 +1,13 @@
+"""REP006 fixture: closures crossing the pool boundary (3 findings)."""
+
+import multiprocessing
+
+
+def run_campaign(shards):
+    def trace_shard(shard):
+        return [shards, shard]
+
+    with multiprocessing.Pool(2, initializer=lambda: None) as pool:
+        mapped = pool.map(lambda s: s, shards)
+        handle = pool.apply_async(trace_shard, (shards[0],))
+    return mapped, handle

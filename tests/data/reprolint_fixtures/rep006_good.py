@@ -1,0 +1,17 @@
+"""REP006 fixture: module-level callables only (0 findings)."""
+
+import multiprocessing
+
+
+def _init_worker():
+    pass
+
+
+def trace_shard(shard):
+    return shard
+
+
+def run_campaign(shards):
+    with multiprocessing.Pool(2, initializer=_init_worker) as pool:
+        mapped = pool.map(trace_shard, shards)
+    return mapped

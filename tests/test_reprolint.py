@@ -1,0 +1,229 @@
+"""reprolint: per-rule fixture regression tests + the repo-wide meta-test.
+
+Every REP rule is pinned three ways: a known-bad fixture must yield
+exactly the expected findings, a known-good fixture must yield none, and
+the disable-comment escape hatch must behave (justified suppresses,
+unjustified suppresses nothing and is itself REP000).  The meta-test
+then asserts the live ``src/repro`` tree is reprolint-clean under the
+repo's own scoping, so a regression anywhere in the tree fails tier-1
+even before CI's dedicated lint job runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.devtools.report import render_json, render_text
+from repro.devtools.reprolint import (
+    DEFAULT_CONFIG,
+    lint_paths,
+    lint_source,
+    load_config,
+    main,
+)
+from repro.devtools.rules import Finding, RULES, all_rule_codes
+
+FIXTURES = Path(__file__).parent / "data" / "reprolint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _lint_fixture(name: str, codes: List[str]) -> List[Finding]:
+    source = (FIXTURES / name).read_text()
+    return lint_source(source, path=name, codes=codes)
+
+
+# --- rule catalogue ----------------------------------------------------
+
+
+def test_rule_catalogue_is_complete():
+    assert all_rule_codes() == (
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+        "REP006",
+    )
+    for spec in RULES.values():
+        assert spec.title and spec.rationale and spec.fix_hint
+
+
+# --- per-rule fixtures -------------------------------------------------
+
+#: (rule, bad fixture, expected finding count, good fixture)
+CASES = [
+    ("REP001", "rep001_bad.py", 4, "rep001_good.py"),
+    ("REP002", "rep002_bad.py", 4, "rep002_good.py"),
+    ("REP003", "rep003_bad.py", 2, "rep003_good.py"),
+    ("REP004", "rep004_bad.py", 4, "rep004_good.py"),
+    ("REP005", "rep005_bad.py", 4, "rep005_good.py"),
+    ("REP006", "rep006_bad.py", 3, "rep006_good.py"),
+]
+
+
+@pytest.mark.parametrize("code,bad,expected,good", CASES)
+def test_bad_fixture_is_flagged(code, bad, expected, good):
+    findings = _lint_fixture(bad, [code])
+    assert len(findings) == expected, render_text(findings, files_checked=1)
+    assert {f.code for f in findings} == {code}
+    for f in findings:
+        assert f.line > 0 and f.message and f.fix_hint
+
+
+@pytest.mark.parametrize("code,bad,expected,good", CASES)
+def test_good_fixture_is_clean(code, bad, expected, good):
+    findings = _lint_fixture(good, [code])
+    assert findings == [], render_text(findings, files_checked=1)
+
+
+def test_bad_fixtures_clean_under_other_rules():
+    """Fixtures are narrow: each bad file violates only its own rule."""
+    for code, bad, _expected, _good in CASES:
+        others = [c for c in all_rule_codes() if c != code]
+        findings = _lint_fixture(bad, others)
+        assert findings == [], f"{bad}: {render_text(findings, files_checked=1)}"
+
+
+def test_rep001_flags_every_receiver_shape():
+    """Module stream, attribute stream, alias, and keyed-in-unsafe-loop."""
+    messages = [f.message for f in _lint_fixture("rep001_bad.py", ["REP001"])]
+    assert any("module-level `random`" in m for m in messages)
+    assert any("shared sequential RNG" in m for m in messages)
+    assert any("aliased from a shared RNG" in m for m in messages)
+    assert any("iteration order the linter cannot prove" in m for m in messages)
+
+
+# --- the acceptance scenario: PR 3's WhoisRegistry bug ----------------
+
+WHOIS_BUG = '''
+import random
+
+class WhoisRegistry:
+    def __init__(self, seed, coverage):
+        self._seed = seed
+        self._coverage = coverage
+        self._rng = random.Random(repr(("whois", seed)))
+
+    def _compute(self, key, asn):
+        # the draw consumes a shared stream: lookup order changes the answer
+        if asn is not None and self._rng.random() >= self._coverage:
+            asn = None
+        return asn
+'''
+
+
+def test_rep001_catches_the_whois_registry_bug():
+    findings = lint_source(WHOIS_BUG, path="whois.py", codes=["REP001"])
+    assert len(findings) == 1
+    assert findings[0].code == "REP001"
+    assert "self._rng" in findings[0].message
+    assert "keyed_uniform" in findings[0].fix_hint
+
+
+# --- disable comments --------------------------------------------------
+
+
+def test_justified_disable_suppresses():
+    findings = _lint_fixture("disable_justified.py", ["REP005"])
+    assert findings == [], render_text(findings, files_checked=1)
+
+
+def test_unjustified_disable_suppresses_nothing():
+    findings = _lint_fixture("disable_unjustified.py", ["REP005"])
+    codes = sorted(f.code for f in findings)
+    assert codes == ["REP000", "REP005"]
+    rep000 = next(f for f in findings if f.code == "REP000")
+    assert "justification" in rep000.message
+
+
+def test_disable_for_other_rule_does_not_suppress():
+    source = "def f(x=[]):  # reprolint: disable=REP001 -- wrong rule\n    return x\n"
+    findings = lint_source(source, codes=["REP005"])
+    assert [f.code for f in findings] == ["REP005"]
+
+
+# --- parse errors ------------------------------------------------------
+
+
+def test_syntax_error_is_rep000():
+    findings = lint_source("def broken(:\n", path="broken.py")
+    assert len(findings) == 1
+    assert findings[0].code == "REP000"
+    assert "does not parse" in findings[0].message
+
+
+# --- config ------------------------------------------------------------
+
+
+def test_pyproject_config_matches_builtin_defaults():
+    """[tool.reprolint] and DEFAULT_CONFIG must never drift apart."""
+    config = load_config(str(REPO_ROOT / "pyproject.toml"))
+    assert config.paths == DEFAULT_CONFIG.paths
+    assert config.exclude == DEFAULT_CONFIG.exclude
+    assert dict(config.rule_paths) == dict(DEFAULT_CONFIG.rule_paths)
+    assert dict(config.rule_exclude) == dict(DEFAULT_CONFIG.rule_exclude)
+
+
+def test_rule_scoping_by_path():
+    config = DEFAULT_CONFIG
+    # REP001 applies to the measurement layer...
+    assert "REP001" in config.codes_for("src/repro/measure/ping.py")
+    # ...but not to the world builder (serial RNG by contract)...
+    assert "REP001" not in config.codes_for("src/repro/world/build.py")
+    # ...and not to the keyed helpers themselves.
+    assert "REP001" not in config.codes_for("src/repro/net/rng.py")
+    # Unscoped rules apply everywhere.
+    assert "REP005" in config.codes_for("src/repro/world/build.py")
+
+
+# --- the meta-test: the live tree is clean -----------------------------
+
+
+def test_live_tree_is_reprolint_clean():
+    config = dataclasses.replace(DEFAULT_CONFIG, root=str(REPO_ROOT))
+    findings, files_checked = lint_paths(config=config)
+    assert files_checked > 50, "scan missed most of src/repro"
+    assert findings == [], "\n" + render_text(findings, files_checked=files_checked)
+
+
+# --- output formats and CLI --------------------------------------------
+
+
+def test_json_report_shape():
+    findings = _lint_fixture("rep005_bad.py", ["REP005"])
+    payload = json.loads(render_json(findings, files_checked=1))
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"REP005": 4}
+    assert "REP005" in payload["rules"]
+    assert all(f["code"] == "REP005" for f in payload["findings"])
+
+
+def test_text_report_mentions_code_and_hint():
+    findings = _lint_fixture("rep005_bad.py", ["REP005"])
+    text = render_text(findings, files_checked=1)
+    assert "REP005" in text
+    assert "hint:" in text
+    assert "4 finding(s)" in text
+
+
+def test_cli_exit_codes(capsys):
+    bad = str(FIXTURES / "rep005_bad.py")
+    good = str(FIXTURES / "rep005_good.py")
+    assert main([bad]) == 1
+    assert main([good, "--rules", "REP005"]) == 0
+    assert main(["--list-rules"]) == 0
+    assert main([bad, "--rules", "NOPE"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_output(capsys):
+    bad = str(FIXTURES / "rep005_bad.py")
+    assert main([bad, "--format", "json", "--rules", "REP005"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"REP005": 4}

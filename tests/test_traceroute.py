@@ -1,5 +1,7 @@
 """Traceroute-engine semantics tests."""
 
+import random
+
 import pytest
 
 from repro.measure.traceroute import GAP_LIMIT, StopReason, TracerouteEngine
@@ -114,7 +116,7 @@ class TestThirdPartyResponders:
         rid = next(iter(engine._third_party_routers))
         router = tiny_world.routers[rid]
         incoming = router.interface_ips[-1]
-        answered = engine._response_ip(rid, incoming, engine._rng)
+        answered = engine._response_ip(rid, incoming, random.Random(0))
         assert answered == router.interface_ips[0]
 
 
