@@ -16,6 +16,11 @@ The package has four layers:
   peering grouping, and graph characterisation, plus :mod:`repro.bdrmap`
   (the §8 baseline) and :mod:`repro.analysis` (tables/figures/report).
 
+Cross-cutting: :mod:`repro.obs` is the digest-neutral span tracer and
+trace exporter behind ``--trace-out`` / ``repro trace``, and
+:class:`repro.measure.sink.EventSink` is the consolidated consumer of
+probe / shard-merged / span-closed events.
+
 Quickstart::
 
     from repro import (
@@ -36,25 +41,43 @@ from repro.datasets.validate import validate_datasets
 from repro.measure.checkpoint import CheckpointStore
 from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
+from repro.measure.sink import EventSink, FanoutEvents, as_event_sink
+from repro.obs import (
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+    read_trace,
+    render_trace_summary,
+    write_trace,
+)
 from repro.world.build import WorldConfig, build_world
 from repro.world.model import World
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AmazonPeeringStudy",
     "CheckpointStore",
     "DataFaultPlan",
     "DataQualityReport",
+    "EventSink",
+    "FanoutEvents",
     "FaultPlan",
+    "NULL_TRACER",
     "RetryPolicy",
+    "SpanRecord",
     "StudyConfig",
     "StudyResult",
+    "Tracer",
     "World",
     "WorldConfig",
+    "as_event_sink",
     "build_world",
+    "read_trace",
     "render_report",
     "render_sensitivity",
+    "render_trace_summary",
     "validate_datasets",
+    "write_trace",
     "__version__",
 ]

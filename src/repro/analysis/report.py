@@ -357,7 +357,12 @@ def render_report(
         )
 
     add("")
-    add("timings: " + ", ".join(f"{k}={v:.1f}s" for k, v in result.runtime_seconds.items()))
+    # runtime_seconds is snapshotted from the stage-span view at the end
+    # of the run; fold the spans directly if the snapshot is missing.
+    timings = result.runtime_seconds or (
+        result.metrics.stages if result.metrics else {}
+    )
+    add("timings: " + ", ".join(f"{k}={v:.1f}s" for k, v in timings.items()))
     if result.metrics and result.metrics.campaigns:
         add("campaign throughput:")
         for progress in result.metrics.campaigns.values():

@@ -3,7 +3,10 @@
 ::
 
     repro-study --scale 0.05 --seed 7
+    python -m repro --config study.toml --workers 4   # flags override the file
     python -m repro --scale 0.1 --expansion-stride 4 --with-bdrmap
+    python -m repro --trace-out trace.json            # Perfetto-loadable trace
+    python -m repro trace trace.json                  # self-time + probe funnel
     python -m repro lint src/repro          # determinism & purity auditor
 """
 
@@ -12,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.report import render_report, render_sensitivity
 from repro.core.config import StudyConfig
@@ -21,6 +24,8 @@ from repro.core.pipeline import AmazonPeeringStudy
 from repro.datasets.datafaults import DataFaultPlan
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress, ShardTiming
+from repro.measure.sink import EventSink
+from repro.obs.span import SpanRecord
 from repro.world.build import WorldConfig, build_world
 
 
@@ -81,28 +86,119 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the bdrmap baseline comparison (section 8)")
     parser.add_argument("--with-evaluation", action="store_true",
                         help="score the study against the world's ground truth")
+    parser.add_argument("--config", type=str, default=None, metavar="FILE",
+                        help="load study configuration from a TOML file "
+                             "(see StudyConfig.to_toml); explicit CLI flags "
+                             "override the file's values")
+    parser.add_argument("--trace", action="store_true",
+                        help="record fine-grained worker-side spans (probe "
+                             "batches, fault delays); coarse spans are always "
+                             "recorded and tracing never changes the digest")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                        help="write the study's span trace: *.jsonl -> JSONL, "
+                             "anything else -> Chrome trace JSON loadable in "
+                             "Perfetto/about:tracing (implies --trace)")
     return parser
 
 
-def _progress_printer(min_interval: float = 0.5):
-    """A throttled stderr reporter for ``--progress``."""
-    last_print = [0.0]
+def _config_defaults(config: StudyConfig) -> Dict[str, Any]:
+    """Map a file-loaded ``StudyConfig`` onto parser defaults.
 
-    def report(progress: CampaignProgress, _timing: ShardTiming) -> None:
+    Applied via ``parser.set_defaults`` *before* parsing, so any flag the
+    user types overrides the file while everything else inherits from it.
+    """
+    return {
+        "scale": config.scale if config.scale is not None else 0.05,
+        "seed": config.seed,
+        "expansion_stride": config.expansion_stride,
+        "crossval_folds": config.crossval_folds,
+        "skip_vpi": not config.run_vpi,
+        "skip_crossval": not config.run_crossval,
+        "workers": config.workers,
+        "fault_plan": (
+            config.fault_plan.to_spec() if config.fault_plan else None
+        ),
+        "shard_timeout": config.shard_timeout,
+        "max_retries": config.max_retries,
+        "checkpoint_dir": config.checkpoint_dir,
+        "resume": config.resume,
+        "data_fault_plan": (
+            config.data_fault_plan.to_spec() if config.data_fault_plan else None
+        ),
+        "min_confidence": config.min_confidence,
+        "trace": config.trace,
+        "trace_out": config.trace_out,
+    }
+
+
+class _ProgressPrinter(EventSink):
+    """Throttled stderr progress for ``--progress``.
+
+    Per-shard lines are throttled to ``min_interval``, but every campaign
+    also gets a guaranteed terminal line: the campaign span closing
+    carries the final counters, so the last update can no longer be
+    swallowed by the throttle -- or skipped entirely when the final shard
+    is quarantined and never merges.
+    """
+
+    def __init__(self, min_interval: float = 0.5) -> None:
+        self._min_interval = min_interval
+        self._last_time = 0.0
+        #: campaign label -> probes shown on its most recent line, so
+        #: the terminal flush prints only when something new happened.
+        self._last_probes: Dict[str, int] = {}
+
+    def on_shard_merged(
+        self, progress: CampaignProgress, _timing: ShardTiming
+    ) -> None:
         now = time.time()
         done = progress.probes >= progress.expected_probes
-        if not done and now - last_print[0] < min_interval:
+        if not done and now - self._last_time < self._min_interval:
             return
-        last_print[0] = now
-        print(
-            f"  {progress.label}: {progress.probes}/{progress.expected_probes} "
-            f"probes ({progress.done_fraction * 100:.0f}%), "
-            f"{progress.probes_per_second:.0f}/s, "
-            f"{progress.workers} worker(s)",
-            file=sys.stderr,
+        self._last_time = now
+        self._line(
+            progress.label,
+            probes=progress.probes,
+            expected=progress.expected_probes,
+            rate=progress.probes_per_second,
+            workers=progress.workers,
         )
 
-    return report
+    def on_span_closed(self, record: SpanRecord) -> None:
+        if record.category != "campaign":
+            return
+        label = record.name.partition(":")[2] or record.name
+        probes = int(record.counter("probes"))
+        if self._last_probes.get(label) == probes:
+            return  # the final merge already printed this state
+        lost = int(record.counter("lost"))
+        self._line(
+            label,
+            probes=probes,
+            expected=int(record.counter("expected")),
+            rate=probes / record.duration if record.duration > 0 else 0.0,
+            workers=int(record.counter("workers")),
+            lost=lost,
+        )
+
+    def _line(
+        self,
+        label: str,
+        probes: int,
+        expected: int,
+        rate: float,
+        workers: int,
+        lost: int = 0,
+    ) -> None:
+        fraction = probes / expected if expected else 1.0
+        text = (
+            f"  {label}: {probes}/{expected} probes "
+            f"({fraction * 100:.0f}%), {rate:.0f}/s, {workers} worker(s)"
+        )
+        if lost:
+            text += f", {lost} probe(s) lost to quarantine"
+        print(text, file=sys.stderr)
+        self._last_probes[label] = probes
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -114,7 +210,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.devtools.reprolint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # `repro trace <file>` renders the self-time table and probe
+        # funnel of a trace written by --trace-out.
+        from repro.obs.analyze import main as trace_main
+
+        return trace_main(argv[1:])
     parser = build_parser()
+    # First pass: find --config so the file's values become the parser
+    # defaults; any flag the user actually types then overrides the file.
+    pre = argparse.ArgumentParser(add_help=False)
+    pre.add_argument("--config", type=str, default=None)
+    pre_args, _ = pre.parse_known_args(argv)
+    file_config: Optional[StudyConfig] = None
+    if pre_args.config:
+        try:
+            file_config = StudyConfig.from_file(pre_args.config)
+        except (OSError, RuntimeError, TypeError, ValueError) as exc:
+            parser.error(f"--config: {exc}")
+        parser.set_defaults(**_config_defaults(file_config))
     args = parser.parse_args(argv)
     try:
         fault_plan = (
@@ -142,6 +256,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=args.resume,
             data_fault_plan=data_fault_plan,
             min_confidence=args.min_confidence,
+            retry_backoff_s=(
+                file_config.retry_backoff_s
+                if file_config is not None
+                else 0.05
+            ),
+            trace=args.trace,
+            trace_out=args.trace_out,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -159,11 +280,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     study = AmazonPeeringStudy(
         world,
         config,
-        progress=_progress_printer() if args.progress else None,
+        events=_ProgressPrinter() if args.progress else None,
     )
     print("running the measurement study...", file=sys.stderr)
     result = study.run()
     print(render_report(result, study.relationships))
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
     if args.digest:
         print(f"study digest: {result.digest()}")
 
@@ -175,6 +298,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             min_confidence=0.0,
             checkpoint_dir=None,
             resume=False,
+            # The twin must not overwrite the main run's trace file.
+            trace=False,
+            trace_out=None,
         )
         clean_result = AmazonPeeringStudy(world, clean_config).run()
         print()

@@ -103,13 +103,26 @@ class HopAnnotator:
         self.ixps = ixps
         self.home_org = home_org
         self._cache: Dict[IPv4, HopAnnotation] = {}
+        # Observability counters (attached to the study span by the
+        # pipeline); pure bookkeeping, never read back by inference.
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
+        #: summed fallback-chain depth (len(sources_consulted)) over
+        #: every cache miss, for mean-depth reporting.
+        self.fallback_depth_total: int = 0
+        #: disagreement labels recorded across all computed annotations.
+        self.disagreement_flags: int = 0
 
     def annotate(self, ip: IPv4) -> HopAnnotation:
         cached = self._cache.get(ip)
         if cached is not None:
+            self.cache_hits += 1
             return cached
         ann = self._compute(ip)
         self._cache[ip] = ann
+        self.cache_misses += 1
+        self.fallback_depth_total += len(ann.sources_consulted)
+        self.disagreement_flags += len(ann.disagreements)
         return ann
 
     def _compute(self, ip: IPv4) -> HopAnnotation:

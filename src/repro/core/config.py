@@ -8,13 +8,26 @@ surface: an optional :class:`~repro.measure.faults.FaultPlan`, per-shard
 timeout and retry bounds, and the checkpoint directory that makes a
 killed campaign resumable.  The old kwargs still work through a
 deprecation shim on ``AmazonPeeringStudy``.
+
+A config can also live in a TOML file (``repro run --config study.toml``,
+with CLI flags as overrides): :meth:`StudyConfig.from_file` /
+:meth:`StudyConfig.from_toml` read one, :meth:`StudyConfig.to_toml`
+writes one, and the pair round-trips every field -- fault plans travel as
+their compact ``parse()`` spec strings.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+try:  # stdlib on Python >= 3.11; config files degrade gracefully below.
+    import tomllib
+except ImportError:  # pragma: no cover - depends on interpreter version
+    tomllib = None  # type: ignore[assignment]
 
 from repro.datasets.datafaults import DataFaultPlan
 from repro.measure.faults import FaultPlan
@@ -59,6 +72,15 @@ class StudyConfig:
     #: pins are flagged in the data-quality report (0 = no flagging).
     min_confidence: float = 0.0
 
+    # --- observability --------------------------------------------------
+    #: record fine-grained worker-side spans (probe batches, fault
+    #: delays, wire packing).  Coarse spans (study/stage/campaign/shard)
+    #: are always recorded; tracing never affects the digest.
+    trace: bool = False
+    #: write the study's span stream here after the run (``*.jsonl`` ->
+    #: JSONL, anything else -> Chrome trace JSON).  Implies ``trace``.
+    trace_out: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.expansion_stride < 1:
             raise ValueError(
@@ -97,3 +119,73 @@ class StudyConfig:
 
     def as_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
+
+    # --- TOML config files ---------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "StudyConfig":
+        """Build a config from a plain mapping (parsed TOML).
+
+        Fault plans may be given as compact spec strings (the
+        ``FaultPlan.parse`` / ``DataFaultPlan.parse`` grammar) or as
+        already-built plan objects.  Unknown keys raise ``ValueError`` so
+        a typo in a config file fails loudly instead of silently running
+        the defaults.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown config key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        kwargs: Dict[str, Any] = dict(data)
+        plan = kwargs.get("fault_plan")
+        if isinstance(plan, str):
+            kwargs["fault_plan"] = FaultPlan.parse(plan)
+        data_plan = kwargs.get("data_fault_plan")
+        if isinstance(data_plan, str):
+            kwargs["data_fault_plan"] = DataFaultPlan.parse(data_plan)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "StudyConfig":
+        """Parse a TOML document of flat ``key = value`` config entries."""
+        if tomllib is None:
+            raise RuntimeError(
+                "TOML config files need the stdlib tomllib (Python >= 3.11)"
+            )
+        return cls.from_mapping(tomllib.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "StudyConfig":
+        """Load a config from a TOML file (see ``to_toml`` for the shape)."""
+        return cls.from_toml(Path(path).read_text())
+
+    def to_toml(self) -> str:
+        """This config as a TOML document ``from_toml`` round-trips.
+
+        ``None`` fields are omitted (TOML has no null; absence means
+        "default"), and fault plans are serialized as their canonical
+        ``to_spec()`` strings.
+        """
+        lines = ["# repro study configuration (repro run --config <file>)"]
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value is None:
+                continue
+            if isinstance(value, (FaultPlan, DataFaultPlan)):
+                value = value.to_spec()
+            lines.append(f"{field.name} = {_toml_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _toml_value(value: Any) -> str:
+    """Render one scalar as a TOML literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    raise TypeError(f"cannot render {type(value).__name__} as TOML: {value!r}")

@@ -49,7 +49,15 @@ from repro.measure.checkpoint import CheckpointStore
 from repro.measure.dnslookup import ReverseDNS
 from repro.measure.executor import RetryPolicy
 from repro.measure.metrics import CampaignProgress, ProgressCallback, StudyMetrics
+from repro.measure.sink import (
+    EventSink,
+    FanoutEvents,
+    ProgressCallbackEvents,
+    SinkLike,
+    as_event_sink,
+)
 from repro.measure.ping import Pinger
+from repro.obs.export import write_trace
 from repro.measure.reachability import PublicVantagePoint
 from repro.measure.traceroute import TracerouteEngine
 from repro.world.model import World
@@ -78,6 +86,7 @@ class AmazonPeeringStudy:
         world: World,
         config: Optional[StudyConfig] = None,
         *,
+        events: Optional[SinkLike] = None,
         progress: Optional[ProgressCallback] = None,
         **legacy: object,
     ) -> None:
@@ -89,7 +98,23 @@ class AmazonPeeringStudy:
 
         self.world = world
         self.config = config
-        self.progress_callback = progress
+        # One consolidated event consumer: probes, merged shards, and
+        # closed spans all flow to `events`.  The legacy per-shard
+        # `progress` callback is adapted onto the same stream.
+        sinks: List[EventSink] = []
+        if events is not None:
+            sinks.append(as_event_sink(events))
+        if progress is not None:
+            warnings.warn(
+                "AmazonPeeringStudy(progress=...) is deprecated; pass "
+                "events=<EventSink> (see repro.measure.sink.EventSink)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            sinks.append(ProgressCallbackEvents(progress))
+        self.events: Optional[EventSink] = (
+            FanoutEvents(*sinks) if sinks else None
+        )
         # Convenience attributes, kept for existing call sites.
         self.seed = config.seed
         self.expansion_stride = config.expansion_stride
@@ -152,17 +177,29 @@ class AmazonPeeringStudy:
     def run(self) -> StudyResult:
         config = self.config
         metrics = StudyMetrics()
+        tracer = metrics.tracer
+        #: fine-grained (worker-side) spans are opt-in; coarse spans
+        #: (study/stage/campaign/shard) are always recorded and cheap.
+        worker_spans = bool(config.trace or config.trace_out)
+        events = self.events
+        if events is not None:
+            tracer.add_listener(events.on_span_closed)
         result = StudyResult(
             seed=self.seed,
             scale=self.world.config.scale,
             config=config,
             metrics=metrics,
         )
-        # The legacy timers dict now aliases the metrics stage table.
-        result.runtime_seconds = metrics.stages
+        study_span = tracer.span("study", category="study")
 
         def campaign_progress(label: str) -> CampaignProgress:
-            return metrics.campaign(label, callback=self.progress_callback)
+            return metrics.campaign(label)
+
+        def campaign_sink(sink: SinkLike) -> SinkLike:
+            """Tee a campaign's event stream to the study-wide sink."""
+            if events is None:
+                return sink
+            return FanoutEvents(sink, events)
 
         # Dataset cross-validation, *before* any probing: how much do the
         # sources disagree with each other up front?
@@ -181,9 +218,11 @@ class AmazonPeeringStudy:
         )
         with metrics.stage("round1"):
             result.round1_stats = campaign.run_round1(
-                self.observatory,
+                campaign_sink(self.observatory),
                 progress=campaign_progress("round1"),
                 checkpoint_store=self.checkpoint_store,
+                tracer=tracer,
+                worker_spans=worker_spans,
             )
 
         r1_abis = self.observatory.candidate_abis()
@@ -197,10 +236,12 @@ class AmazonPeeringStudy:
             self.observatory.start_round("r2", self.annotator_r2)
             result.round2_stats = campaign.run_expansion(
                 r1_cbis,
-                self.observatory,
+                campaign_sink(self.observatory),
                 stride=self.expansion_stride,
                 progress=campaign_progress("round2"),
                 checkpoint_store=self.checkpoint_store,
+                tracer=tracer,
+                worker_spans=worker_spans,
             )
 
         e_abis = self.observatory.candidate_abis()
@@ -300,6 +341,8 @@ class AmazonPeeringStudy:
                     ixp_cbis,
                     self.observatory.discovery_dsts(),
                     progress_factory=lambda cloud: campaign_progress(f"vpi:{cloud}"),
+                    tracer=tracer,
+                    worker_spans=worker_spans,
                 )
                 vpi_cbis = result.vpi.vpi_cbis
 
@@ -350,6 +393,49 @@ class AmazonPeeringStudy:
                 result.data_quality.total_disagreements,
                 result.data_quality.flagged_count,
             )
+
+        # Annotation-layer counters ride on the study span: cache
+        # behaviour, mean fallback-chain depth, and how often sources
+        # disagreed.  Observability only -- outside the digest.
+        annotators = [
+            self.annotator_r1,
+            self.annotator_r2,
+            *self.cloud_annotators.values(),
+        ]
+        study_span.set(
+            "annotation_cache_hits", sum(a.cache_hits for a in annotators)
+        )
+        study_span.set(
+            "annotation_cache_misses", sum(a.cache_misses for a in annotators)
+        )
+        study_span.set(
+            "annotation_fallback_depth",
+            sum(a.fallback_depth_total for a in annotators),
+        )
+        study_span.set(
+            "annotation_disagreements",
+            sum(a.disagreement_flags for a in annotators),
+        )
+        study_span.set("dataset_disagreements", metrics.dataset_disagreements)
+        study_span.set(
+            "low_confidence_inferences", metrics.low_confidence_inferences
+        )
+        study_span.close()
+
+        # The legacy timers dict is a snapshot of the stage-span view.
+        result.runtime_seconds = metrics.stages
+        if config.trace_out:
+            write_trace(
+                config.trace_out,
+                tracer.records,
+                meta={
+                    "seed": self.seed,
+                    "scale": self.world.config.scale,
+                    "workers": config.workers,
+                },
+            )
+        if events is not None:
+            events.close()
         return result
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress
 from repro.measure.traceroute import TracerouteEngine
+from repro.obs.span import TracerLike
 from repro.world.model import World
 
 #: Probing order fixed by the paper's Table 4.
@@ -92,6 +93,8 @@ class VPIDetector:
         ixp_cbis: Set[IPv4],
         discovery_dsts: Iterable[IPv4],
         progress_factory: Optional[Callable[[str], "CampaignProgress"]] = None,
+        tracer: Optional[TracerLike] = None,
+        worker_spans: bool = False,
     ) -> VPIDetectionResult:
         result = VPIDetectionResult()
         non_ixp = sorted(amazon_cbis - ixp_cbis)
@@ -116,6 +119,8 @@ class VPIDetector:
                 progress=progress_factory(cloud) if progress_factory else None,
                 checkpoint_store=self.checkpoint_store,
                 checkpoint_label=f"vpi:{cloud}",
+                tracer=tracer,
+                worker_spans=worker_spans,
             )
             other_cbis = observatory.candidate_cbis()
             overlap = set(amazon_cbis) & other_cbis

@@ -221,6 +221,24 @@ class DataFaultPlan:
             parts.append(f"whois-nameonly={self.whois_nameonly_rate:g}")
         return "DataFaultPlan(" + ", ".join(parts) + ")"
 
+    def to_spec(self) -> str:
+        """The canonical compact spec; ``DataFaultPlan.parse`` round-trips
+        it.  Unlike :meth:`describe` (human-oriented), this emits exactly
+        the ``key=value`` grammar :meth:`parse` reads, so config files can
+        serialize a plan losslessly."""
+        specs = (
+            ("bgp-stale", self.bgp_stale_rate),
+            ("moas", self.moas_rate),
+            ("as2org-drop", self.as2org_drop_rate),
+            ("ixp-drop", self.ixp_member_drop_rate),
+            ("ixp-conflict", self.ixp_member_conflict_rate),
+            ("whois-gap", self.whois_gap_rate),
+            ("whois-nameonly", self.whois_nameonly_rate),
+        )
+        parts = [f"seed={self.seed}"]
+        parts.extend(f"{key}={rate:g}" for key, rate in specs if rate)
+        return ",".join(parts)
+
     # ------------------------------------------------------------------
 
     @classmethod

@@ -117,7 +117,7 @@ DEFAULT_CONFIG = LintConfig(
             "src/repro/measure/faults.py",
             "src/repro/datasets/datafaults.py",
         ),
-        "REP004": ("src/repro/measure", "src/repro/core"),
+        "REP004": ("src/repro/measure", "src/repro/core", "src/repro/obs"),
     },
     rule_exclude={
         "REP001": ("src/repro/net/rng.py",),

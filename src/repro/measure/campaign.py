@@ -22,6 +22,7 @@ from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress
 from repro.measure.sink import SinkLike
 from repro.measure.traceroute import Traceroute, TracerouteEngine
+from repro.obs.span import TracerLike
 from repro.world.model import World
 
 #: Deprecated alias; campaign APIs now accept any :data:`SinkLike`
@@ -129,6 +130,8 @@ class ProbeCampaign:
         progress: Optional[CampaignProgress] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_label: str = "campaign",
+        tracer: Optional[TracerLike] = None,
+        worker_spans: bool = False,
     ) -> CampaignStats:
         """Probe every target from every region, streaming to ``sink``.
 
@@ -136,7 +139,9 @@ class ProbeCampaign:
         With ``workers > 1`` shards run on a process pool, but the merged
         trace stream (and therefore everything downstream) is identical
         to the serial run -- including under an injected fault plan with
-        retries, and across a checkpoint kill/resume.
+        retries, and across a checkpoint kill/resume.  ``tracer`` /
+        ``worker_spans`` are forwarded to the executor (digest-neutral
+        span recording; see :mod:`repro.obs`).
         """
         from repro.measure.executor import ShardedExecutor
 
@@ -158,6 +163,8 @@ class ProbeCampaign:
             progress=progress,
             checkpoint_store=checkpoint_store,
             checkpoint_label=checkpoint_label,
+            tracer=tracer,
+            worker_spans=worker_spans,
         )
         return stats
 
@@ -175,6 +182,8 @@ class ProbeCampaign:
         workers: Optional[int] = None,
         progress: Optional[CampaignProgress] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
+        tracer: Optional[TracerLike] = None,
+        worker_spans: bool = False,
     ) -> CampaignStats:
         return self.run(
             self.round1_targets(),
@@ -184,6 +193,8 @@ class ProbeCampaign:
             progress=progress,
             checkpoint_store=checkpoint_store,
             checkpoint_label="round1",
+            tracer=tracer,
+            worker_spans=worker_spans,
         )
 
     # ------------------------------------------------------------------
@@ -222,6 +233,8 @@ class ProbeCampaign:
         workers: Optional[int] = None,
         progress: Optional[CampaignProgress] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
+        tracer: Optional[TracerLike] = None,
+        worker_spans: bool = False,
     ) -> CampaignStats:
         return self.run(
             self.expansion_targets(cbi_ips, stride),
@@ -231,6 +244,8 @@ class ProbeCampaign:
             progress=progress,
             checkpoint_store=checkpoint_store,
             checkpoint_label="round2",
+            tracer=tracer,
+            worker_spans=worker_spans,
         )
 
 

@@ -38,6 +38,9 @@ class CampaignCheckpoint:
 
     ``get``/``put`` speak the executor's packed wire format (see
     ``executor._pack_result``); the journal never holds live objects.
+    Tracing span rows never enter the journal either: the executor
+    re-packs the bare 4-element result before calling ``put``, so a
+    resumed run can never replay another run's stale wall-clock.
     """
 
     def __init__(self, path: Union[str, Path], fingerprint: str, resume: bool = True) -> None:

@@ -52,8 +52,8 @@ from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Iterable,
-    Iterator,
     List,
     Optional,
     Sequence,
@@ -63,9 +63,10 @@ from typing import (
 from repro.measure.checkpoint import CampaignCheckpoint, CheckpointStore
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress, QuarantinedShard, ShardTiming
-from repro.measure.sink import ProbeSink, SinkLike, as_sink, close_sink
+from repro.measure.sink import EventSink, SinkLike, as_event_sink
 from repro.measure.traceroute import TraceHop, Traceroute, TracerouteEngine
 from repro.net.ip import IPv4
+from repro.obs.span import NULL_TRACER, PackedSpan, Tracer, TracerLike
 from repro.world.model import World
 
 if TYPE_CHECKING:
@@ -77,6 +78,10 @@ if TYPE_CHECKING:
 #: Target shards per worker per region; >1 keeps the pool load-balanced
 #: when shard runtimes are uneven without drowning in pickling overhead.
 SHARDS_PER_WORKER = 4
+
+#: Probes per probe-batch span when fine-grained tracing is on; coarse
+#: enough that span overhead stays invisible next to the engine work.
+PROBE_BATCH = 64
 
 
 @dataclass(frozen=True)
@@ -174,7 +179,7 @@ def plan_shards(
 # ----------------------------------------------------------------------
 
 _WORKER_STATE: Optional[
-    Tuple[TracerouteEngine, "CloudMembership", str, Optional[FaultPlan]]
+    Tuple[TracerouteEngine, "CloudMembership", str, Optional[FaultPlan], bool]
 ] = None
 
 
@@ -184,6 +189,7 @@ def _init_worker(
     seed: int,
     engine_faults: Optional[FaultPlan] = None,
     transport_faults: Optional[FaultPlan] = None,
+    worker_spans: bool = False,
 ) -> None:
     from repro.measure.campaign import CloudMembership
 
@@ -193,15 +199,46 @@ def _init_worker(
     # the shard attempt.  Keeping them separate guarantees worker-built
     # engines match the serial engine even when only one side is set.
     engine = TracerouteEngine(world, seed=seed, faults=engine_faults)
-    _WORKER_STATE = (engine, CloudMembership(world, cloud), cloud, transport_faults)
+    _WORKER_STATE = (
+        engine,
+        CloudMembership(world, cloud),
+        cloud,
+        transport_faults,
+        worker_spans,
+    )
 
 
 def _trace_shard_in_worker(shard: Shard, attempt: int = 0) -> Tuple[Any, ...]:
     assert _WORKER_STATE is not None, "pool initializer did not run"
-    engine, membership, cloud, faults = _WORKER_STATE
-    return _pack_result(
-        trace_shard(engine, membership, cloud, shard, faults=faults, attempt=attempt)
+    engine, membership, cloud, faults, worker_spans = _WORKER_STATE
+    if not worker_spans:
+        return _pack_result(
+            trace_shard(
+                engine, membership, cloud, shard, faults=faults, attempt=attempt
+            )
+        )
+    # Worker processes cannot share the parent's tracer: record into a
+    # local one, time the wire serialization too, and ship the packed
+    # spans as an extra wire element the parent adopts under its shard
+    # span.  Packed spans never enter checkpoint journals -- the parent
+    # re-packs the bare result before journalling -- so a resume never
+    # replays stale wall-clock.
+    tracer = Tracer()
+    root = tracer.span(f"worker:{shard.index}", category="worker")
+    result = trace_shard(
+        engine,
+        membership,
+        cloud,
+        shard,
+        faults=faults,
+        attempt=attempt,
+        tracer=tracer,
     )
+    root.set("probes", len(result.items))
+    with tracer.span(f"pack:{shard.index}", category="pack"):
+        packed = _pack_result(result)
+    root.close()
+    return packed + (tracer.pack(),)
 
 
 def _pack_result(result: ShardResult) -> Tuple[Any, ...]:
@@ -225,7 +262,9 @@ def _pack_result(result: ShardResult) -> Tuple[Any, ...]:
 
 
 def _unpack_result(packed: Sequence[Any], cloud: str) -> ShardResult:
-    index, region, seconds, rows = packed
+    # Element 5, when present, is the worker's packed span rows (see
+    # _trace_shard_in_worker); checkpointed rows are always 4 elements.
+    index, region, seconds, rows = packed[0], packed[1], packed[2], packed[3]
     items = [
         (
             Traceroute(
@@ -242,6 +281,13 @@ def _unpack_result(packed: Sequence[Any], cloud: str) -> ShardResult:
     return ShardResult(index=index, region=region, seconds=seconds, items=items)
 
 
+def _packed_spans(packed: Sequence[Any]) -> Optional[List[PackedSpan]]:
+    """The worker's span rows riding on the wire tuple, if any."""
+    if len(packed) > 4 and packed[4]:
+        return list(packed[4])
+    return None
+
+
 def trace_shard(
     engine: TracerouteEngine,
     membership: "CloudMembership",
@@ -249,23 +295,35 @@ def trace_shard(
     shard: Shard,
     faults: Optional[FaultPlan] = None,
     attempt: int = 0,
+    tracer: TracerLike = NULL_TRACER,
 ) -> ShardResult:
     """Trace every target of ``shard``; shared by serial and pool paths.
 
     Transport faults fire here -- an injected crash raises before any
     tracing, a slow shard sleeps -- so serial runs, pooled first
     attempts, and inline retries all see one fault schedule.
+
+    ``tracer`` attributes fault-realization delay and engine time
+    (``probe-batch`` spans of :data:`PROBE_BATCH` targets); the default
+    :data:`~repro.obs.span.NULL_TRACER` costs one no-op call per batch.
     """
     if faults is not None:
         faults.raise_if_crashed(shard.index, attempt)
         delay = faults.slow_delay(shard.index)
         if delay > 0:
-            time.sleep(delay)
+            with tracer.span(f"fault-delay:{shard.index}", category="faults"):
+                time.sleep(delay)
     t0 = time.perf_counter()
     items: List[Tuple[Traceroute, bool]] = []
-    for dst in shard.targets:
-        trace = engine.trace(cloud, shard.region, dst)
-        items.append((trace, membership.left_cloud(trace)))
+    targets = shard.targets
+    for base in range(0, len(targets), PROBE_BATCH):
+        batch = targets[base : base + PROBE_BATCH]
+        span = tracer.span(f"probe-batch:{shard.index}", category="probe-batch")
+        for dst in batch:
+            trace = engine.trace(cloud, shard.region, dst)
+            items.append((trace, membership.left_cloud(trace)))
+        span.set("probes", len(batch))
+        span.close()
     return ShardResult(
         index=shard.index,
         region=shard.region,
@@ -275,6 +333,22 @@ def trace_shard(
 
 
 # ----------------------------------------------------------------------
+
+
+@dataclass
+class _ShardOutcome:
+    """What one shard's resume/attempt/retry loop produced.
+
+    ``result`` is ``None`` only for a quarantined shard.  ``worker_spans``
+    carries the worker-side packed span rows (pool path with tracing on);
+    ``attempts`` counts attempts actually made, and ``resumed`` marks a
+    checkpoint replay.
+    """
+
+    result: Optional[ShardResult]
+    worker_spans: Optional[List[PackedSpan]] = None
+    attempts: int = 1
+    resumed: bool = False
 
 
 class ShardedExecutor:
@@ -317,18 +391,32 @@ class ShardedExecutor:
         progress: Optional[CampaignProgress] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_label: str = "campaign",
+        tracer: Optional[TracerLike] = None,
+        worker_spans: bool = False,
     ) -> None:
         """Trace ``regions x targets`` and stream merged results to ``sink``.
 
-        ``stats`` is a ``CampaignStats`` updated in merge order; the sink's
-        optional ``close()`` fires after the last trace.  With a
-        ``checkpoint_store``, completed shards are journalled under
-        ``checkpoint_label`` and replayed on the next run.
+        ``sink`` is anything ``as_event_sink`` accepts; merged traces
+        arrive as ``on_probe`` events in serial order, each merged shard
+        fires ``on_shard_merged``, and the sink's ``close()`` fires after
+        the last event.  ``stats`` is a ``CampaignStats`` updated in
+        merge order.  With a ``checkpoint_store``, completed shards are
+        journalled under ``checkpoint_label`` and replayed on the next
+        run.
+
+        ``tracer`` records a ``campaign:<label>`` span with one ``shard``
+        span per merged shard; ``worker_spans=True`` additionally traces
+        inside shard attempts (probe batches, fault delays, wire packing
+        -- worker-side rows cross the pool boundary on the wire tuple and
+        are adopted under the parent's shard span).  Tracing is
+        digest-neutral: it reads ``perf_counter`` only and never touches
+        the merged stream.
         """
         target_list = (
             targets if isinstance(targets, (list, tuple)) else list(targets)
         )
-        probe_sink = as_sink(sink)
+        events = as_event_sink(sink)
+        trc: TracerLike = tracer if tracer is not None else NULL_TRACER
         shard_size = self.shard_size or default_shard_size(
             len(target_list), self.workers
         )
@@ -345,13 +433,24 @@ class ShardedExecutor:
                 shards=len(shards),
                 workers=self.workers,
             )
+        campaign_span = trc.span(
+            f"campaign:{checkpoint_label}", category="campaign"
+        )
+        campaign_span.set("expected", len(target_list) * len(regions))
+        campaign_span.set("shards", len(shards))
+        campaign_span.set("workers", self.workers)
         try:
             if self.workers <= 1 or len(shards) <= 1:
-                pairs = (
-                    (s, self._run_shard(s, None, checkpoint, progress))
-                    for s in shards
+                self._merge(
+                    shards,
+                    lambda s: self._run_shard(
+                        s, None, checkpoint, progress, trc, worker_spans
+                    ),
+                    events,
+                    stats,
+                    progress,
+                    trc,
                 )
-                self._merge(pairs, probe_sink, stats, progress)
             else:
                 ctx = _pool_context()
                 pool = ctx.Pool(
@@ -363,6 +462,7 @@ class ShardedExecutor:
                         self.engine.seed,
                         self.engine.faults,
                         self.faults,
+                        worker_spans,
                     ),
                 )
                 try:
@@ -373,23 +473,40 @@ class ShardedExecutor:
                         for s in shards
                         if checkpoint is None or not checkpoint.has(s.index)
                     }
-                    pairs = (
-                        (
+                    self._merge(
+                        shards,
+                        lambda s: self._run_shard(
                             s,
-                            self._run_shard(
-                                s, pending.get(s.index), checkpoint, progress
-                            ),
-                        )
-                        for s in shards
+                            pending.get(s.index),
+                            checkpoint,
+                            progress,
+                            trc,
+                            worker_spans,
+                        ),
+                        events,
+                        stats,
+                        progress,
+                        trc,
                     )
-                    self._merge(pairs, probe_sink, stats, progress)
                 finally:
                     pool.terminate()
                     pool.join()
         finally:
             if progress is not None:
                 progress.finish()
-            close_sink(probe_sink)
+                campaign_span.set("probes", progress.probes)
+                campaign_span.set("lost", progress.lost_probes)
+                campaign_span.set("retries", progress.retries)
+                campaign_span.set("quarantined", len(progress.quarantined))
+                campaign_span.set("resumed", progress.resumed_shards)
+            else:
+                # Tracer-only runs still get final yield counters, from
+                # the stats the merge loop updated.
+                campaign_span.set("probes", stats.probes)
+                campaign_span.set("lost", stats.lost_probes)
+                campaign_span.set("quarantined", stats.quarantined_shards)
+            campaign_span.close()
+            events.close()
 
     # ------------------------------------------------------------------
 
@@ -437,25 +554,38 @@ class ShardedExecutor:
         handle: Optional["AsyncResult[Tuple[Any, ...]]"],
         checkpoint: Optional[CampaignCheckpoint],
         progress: Optional[CampaignProgress],
-    ) -> Optional[ShardResult]:
+        tracer: TracerLike,
+        worker_spans: bool,
+    ) -> _ShardOutcome:
         """One shard through resume -> attempt -> retry -> quarantine.
 
-        Returns ``None`` only when the shard is quarantined; the merge
-        then accounts for the lost probes instead of crashing the run.
+        The outcome's ``result`` is ``None`` only when the shard is
+        quarantined; the merge then accounts for the lost probes instead
+        of crashing the run.  Checkpoint journals always store the bare
+        4-element wire tuple (via ``_pack_result``), never span rows.
         """
         if checkpoint is not None:
             stored = checkpoint.get(shard.index)
             if stored is not None:
                 if progress is not None:
                     progress.note_resumed(shard.index)
-                return _unpack_result(stored, self.cloud)
+                return _ShardOutcome(
+                    result=_unpack_result(stored, self.cloud),
+                    attempts=0,
+                    resumed=True,
+                )
         attempt = 0
+        worker_packed: Optional[List[PackedSpan]] = None
         while True:
             try:
                 if handle is not None and attempt == 0:
                     packed = handle.get(timeout=self.retry.shard_timeout)
                     result = _unpack_result(packed, self.cloud)
+                    worker_packed = _packed_spans(packed)
                 else:
+                    # Inline attempts run under the currently-open shard
+                    # span, so fine-grained spans nest directly -- no
+                    # packing needed on this path.
                     result = trace_shard(
                         self.engine,
                         self.membership,
@@ -463,7 +593,9 @@ class ShardedExecutor:
                         shard,
                         faults=self.faults,
                         attempt=attempt,
+                        tracer=tracer if worker_spans else NULL_TRACER,
                     )
+                    worker_packed = None
             except Exception as exc:  # worker crash, timeout, injected fault
                 attempt += 1
                 if progress is not None:
@@ -478,42 +610,69 @@ class ShardedExecutor:
                                 error=_describe_error(exc),
                             )
                         )
-                    return None
+                    return _ShardOutcome(result=None, attempts=attempt)
                 backoff = self.retry.backoff_seconds(attempt)
                 if backoff > 0:
                     time.sleep(backoff)
                 continue
             if checkpoint is not None:
                 checkpoint.put(shard.index, _pack_result(result))
-            return result
+            return _ShardOutcome(
+                result=result,
+                worker_spans=worker_packed,
+                attempts=attempt + 1,
+            )
 
     # ------------------------------------------------------------------
 
     @staticmethod
     def _merge(
-        pairs: Iterator[Tuple[Shard, Optional[ShardResult]]],
-        sink: ProbeSink,
+        shards: Sequence[Shard],
+        fetch: Callable[[Shard], _ShardOutcome],
+        events: EventSink,
         stats: "CampaignStats",
         progress: Optional[CampaignProgress],
+        tracer: TracerLike,
     ) -> None:
-        """Consume shard results in submission order -- the serial order."""
-        for shard, result in pairs:
+        """Consume shard results in submission order -- the serial order.
+
+        Each shard gets a ``shard`` span covering the parent-side wait,
+        retries, and merge for that shard; worker-side span rows (pool
+        path) are adopted under it, so worker time and parent time stay
+        separately attributed.
+        """
+        for shard in shards:
+            span = tracer.span(f"shard:{shard.index}", category="shard")
+            outcome = fetch(shard)
+            result = outcome.result
             if result is None:  # quarantined: degrade, don't die
                 stats.lost_probes += len(shard.targets)
                 stats.quarantined_shards += 1
+                span.set("probes", 0)
+                span.set("lost", len(shard.targets))
+                span.set("attempts", outcome.attempts)
+                span.close()
                 continue
+            tracer.adopt_packed(outcome.worker_spans, span)
             for trace, left_cloud in result.items:
                 stats.record(trace, left_cloud)
-                sink.consume(trace)
+                events.on_probe(trace)
+            span.set("probes", len(result.items))
+            span.set("worker_seconds", result.seconds)
+            if outcome.attempts > 1:
+                span.set("attempts", outcome.attempts)
+            if outcome.resumed:
+                span.set("resumed", 1)
+            span.close()
             if progress is not None:
-                progress.note_shard(
-                    ShardTiming(
-                        index=result.index,
-                        region=result.region,
-                        probes=len(result.items),
-                        seconds=result.seconds,
-                    )
+                timing = ShardTiming(
+                    index=result.index,
+                    region=result.region,
+                    probes=len(result.items),
+                    seconds=result.seconds,
                 )
+                progress.note_shard(timing)
+                events.on_shard_merged(progress, timing)
 
 
 def _describe_error(exc: Exception) -> str:

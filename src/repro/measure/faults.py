@@ -215,6 +215,39 @@ class FaultPlan:
             )
         return "FaultPlan(" + ", ".join(parts) + ")"
 
+    def to_spec(self) -> str:
+        """The canonical compact spec; ``FaultPlan.parse`` round-trips it.
+
+        Unlike :meth:`describe` (human-oriented), this emits exactly the
+        ``key=value`` grammar :meth:`parse` reads, so config files can
+        serialize a plan losslessly.
+        """
+        parts = [f"seed={self.seed}"]
+        if self.crash_rate:
+            parts.append(f"crash={self.crash_rate:g}")
+        if self.crash_attempts != 1:
+            parts.append(f"crash-attempts={self.crash_attempts}")
+        if self.slow_rate:
+            parts.append(f"slow={self.slow_rate:g}")
+        if self.slow_seconds:
+            parts.append(f"slow-seconds={self.slow_seconds:g}")
+        if self.poison_shards:
+            parts.append(
+                "poison=" + ";".join(str(i) for i in self.poison_shards)
+            )
+        if self.region_loss:
+            parts.append(
+                "loss="
+                + ";".join(
+                    f"{r}:{v:g}" for r, v in sorted(self.region_loss.items())
+                )
+            )
+        if self.rate_limit_rate:
+            parts.append(f"rate-limit={self.rate_limit_rate:g}")
+        if self.rate_limit_window != 3:
+            parts.append(f"window={self.rate_limit_window}")
+        return ",".join(parts)
+
     # ------------------------------------------------------------------
 
     @classmethod

@@ -5,9 +5,13 @@ Replaces the ad-hoc ``timers`` dict the study driver used to fill by hand:
 * :class:`CampaignProgress` -- live throughput of one probing campaign
   (probes completed, probes/sec, per-region counts, per-shard latencies),
   updated by the sharded executor as merged shards stream in;
-* :class:`StudyMetrics` -- wall-clock per pipeline stage plus the progress
-  object of every campaign the study ran, carried on ``StudyResult`` and
-  rendered by ``render_report``.
+* :class:`StudyMetrics` -- the study's :class:`~repro.obs.span.Tracer`
+  plus the progress object of every campaign the study ran, carried on
+  ``StudyResult`` and rendered by ``render_report``.  Per-stage
+  wall-clock (``metrics.stages``) is a *view* over the span stream:
+  ``stage()`` opens a stage-category span, and the property folds the
+  closed stage records back into the name -> seconds dict the report
+  has always consumed.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.span import Tracer
 
 
 @dataclass(frozen=True)
@@ -170,11 +176,17 @@ class CampaignProgress:
 
 
 class StudyMetrics:
-    """Per-stage wall-clock plus per-campaign progress for one study run."""
+    """Per-stage wall-clock plus per-campaign progress for one study run.
 
-    def __init__(self) -> None:
-        #: stage name -> wall-clock seconds, in execution order.
-        self.stages: Dict[str, float] = {}
+    Always carries a real :class:`~repro.obs.span.Tracer`: stage,
+    campaign, and shard spans are cheap enough to record unconditionally,
+    and ``stages`` / the report are views over that stream.  Fine-grained
+    worker-side spans are opt-in at the executor (``worker_spans``).
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        #: the span stream everything below is a view over.
+        self.tracer: Tracer = tracer if tracer is not None else Tracer()
         #: campaign label -> its progress/throughput record.
         self.campaigns: Dict[str, CampaignProgress] = {}
         #: inter-source dataset disagreements (validation + annotations).
@@ -182,16 +194,24 @@ class StudyMetrics:
         #: final inferences flagged below the annotation-confidence floor.
         self.low_confidence_inferences: int = 0
 
+    @property
+    def stages(self) -> Dict[str, float]:
+        """Stage name -> wall-clock seconds, in execution order.
+
+        Folded from the closed stage-category spans, so the dict the
+        report renders and the trace a viewer loads cannot disagree.
+        """
+        folded: Dict[str, float] = {}
+        for record in self.tracer.records:
+            if record.category == "stage":
+                folded[record.name] = folded.get(record.name, 0.0) + record.duration
+        return folded
+
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Time a pipeline stage: ``with metrics.stage("round1"): ...``."""
-        t0 = time.perf_counter()
-        try:
+        with self.tracer.span(name, category="stage"):
             yield
-        finally:
-            self.stages[name] = self.stages.get(name, 0.0) + (
-                time.perf_counter() - t0
-            )
 
     def campaign(
         self, label: str, callback: Optional[ProgressCallback] = None

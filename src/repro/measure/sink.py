@@ -1,23 +1,45 @@
-"""Composable consumers of traceroute streams.
+"""Composable consumers of campaign event streams.
 
-Campaigns used to push every trace into a single bare callback, and any
-extra bookkeeping (yield statistics, progress counters, the border
-observatory) had to be hand-wired inside ``ProbeCampaign.run``.  The
-:class:`ProbeSink` protocol replaces that: anything with a
-``consume(trace)`` method is a sink, sinks compose through
-:class:`FanoutSink`, and a sink may optionally expose ``close()`` to flush
-state when the campaign that feeds it finishes.
+PR 1 grew three parallel callback families: the per-trace
+:class:`ProbeSink` protocol, the per-shard ``ProgressCallback``, and --
+with the observability layer -- per-span listeners.  :class:`EventSink`
+collapses them into one consumer surface with three events:
 
-Plain callables still work everywhere a sink is accepted --
-:func:`as_sink` wraps them in a :class:`CallbackSink` -- so the historical
-``consumer=lambda trace: ...`` call sites keep running unchanged.
+* ``on_probe(trace)`` -- one merged traceroute, in serial order;
+* ``on_shard_merged(progress, timing)`` -- a shard's results just
+  entered the merged stream (``progress`` is the campaign's live
+  :class:`~repro.measure.metrics.CampaignProgress`);
+* ``on_span_closed(record)`` -- a tracer span closed (study, stage,
+  campaign, shard, probe-batch, ...).
+
+All handlers default to no-ops, so a sink subclasses only what it
+needs; :class:`FanoutEvents` composes sinks; :func:`as_event_sink`
+coerces the historical shapes (a :class:`ProbeSink`, a bare
+``Callable[[Traceroute], None]``) without churn at the call sites.
+
+The PR 1 surface -- :func:`as_sink`, :class:`FanoutSink`,
+:class:`CallbackSink` -- still works but is deprecated; new code should
+subclass :class:`EventSink`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol, Union, runtime_checkable
+import warnings
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
 
 from repro.measure.traceroute import Traceroute
+
+if TYPE_CHECKING:
+    from repro.measure.metrics import CampaignProgress, ShardTiming
+    from repro.obs.span import SpanRecord
 
 
 @runtime_checkable
@@ -32,12 +54,140 @@ class ProbeSink(Protocol):
         ...
 
 
-#: What campaign APIs accept: a sink object or a bare per-trace callable.
-SinkLike = Union[ProbeSink, Callable[[Traceroute], None]]
+#: What campaign APIs accept: an event sink, a probe sink, or a bare
+#: per-trace callable.
+SinkLike = Union["EventSink", ProbeSink, Callable[[Traceroute], None]]
 
 
-def as_sink(obj: SinkLike) -> ProbeSink:
-    """Coerce ``obj`` to a :class:`ProbeSink` (callables get wrapped)."""
+class EventSink:
+    """The unified campaign event consumer; every handler is a no-op.
+
+    Subclass and override only the events you care about.  ``close()``
+    fires once per campaign, after that campaign's last event.
+    """
+
+    def on_probe(self, trace: Traceroute) -> None:
+        pass
+
+    def on_shard_merged(
+        self, progress: "CampaignProgress", timing: "ShardTiming"
+    ) -> None:
+        pass
+
+    def on_span_closed(self, record: "SpanRecord") -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ProbeSinkEvents(EventSink):
+    """Adapter: a :class:`ProbeSink` consuming the unified event stream."""
+
+    def __init__(self, sink: ProbeSink) -> None:
+        self.sink = sink
+
+    def on_probe(self, trace: Traceroute) -> None:
+        self.sink.consume(trace)
+
+    def close(self) -> None:
+        close_sink(self.sink)
+
+
+class CallbackEvents(EventSink):
+    """Adapter: a bare per-trace callable on the unified event stream."""
+
+    def __init__(self, fn: Callable[[Traceroute], None]) -> None:
+        self.fn = fn
+
+    def on_probe(self, trace: Traceroute) -> None:
+        self.fn(trace)
+
+
+class ProgressCallbackEvents(EventSink):
+    """Adapter: a legacy per-shard ``ProgressCallback`` as an event sink."""
+
+    def __init__(
+        self, fn: Callable[["CampaignProgress", "ShardTiming"], None]
+    ) -> None:
+        self.fn = fn
+
+    def on_shard_merged(
+        self, progress: "CampaignProgress", timing: "ShardTiming"
+    ) -> None:
+        self.fn(progress, timing)
+
+
+class FanoutEvents(EventSink):
+    """Deliver every event to several sinks, in construction order.
+
+    Accepts anything :func:`as_event_sink` accepts; ``None`` entries are
+    dropped, so optional sinks compose without conditionals.
+    """
+
+    def __init__(self, *sinks: Optional[SinkLike]) -> None:
+        self.sinks: List[EventSink] = [
+            as_event_sink(s) for s in sinks if s is not None
+        ]
+
+    def on_probe(self, trace: Traceroute) -> None:
+        for sink in self.sinks:
+            sink.on_probe(trace)
+
+    def on_shard_merged(
+        self, progress: "CampaignProgress", timing: "ShardTiming"
+    ) -> None:
+        for sink in self.sinks:
+            sink.on_shard_merged(progress, timing)
+
+    def on_span_closed(self, record: "SpanRecord") -> None:
+        for sink in self.sinks:
+            sink.on_span_closed(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def as_event_sink(obj: SinkLike) -> EventSink:
+    """Coerce any accepted sink shape to an :class:`EventSink`.
+
+    Accepts an :class:`EventSink` (returned as-is), a :class:`ProbeSink`
+    (wrapped so ``consume`` receives ``on_probe`` events), or a bare
+    per-trace callable.
+    """
+    if isinstance(obj, EventSink):
+        return obj
+    if isinstance(obj, ProbeSink):
+        return ProbeSinkEvents(obj)
+    if callable(obj):
+        return CallbackEvents(obj)
+    raise TypeError(f"not an EventSink, ProbeSink, or callable: {obj!r}")
+
+
+# ----------------------------------------------------------------------
+# PR 1 compatibility surface (deprecated).
+# ----------------------------------------------------------------------
+
+
+def as_sink(obj: Union[ProbeSink, Callable[[Traceroute], None]]) -> ProbeSink:
+    """Deprecated: coerce ``obj`` to a :class:`ProbeSink`.
+
+    New code should pass sinks to campaign APIs directly (they coerce
+    via :func:`as_event_sink`) or subclass :class:`EventSink`.
+    """
+    warnings.warn(
+        "as_sink() is deprecated; campaign APIs accept EventSink, "
+        "ProbeSink, or a bare callable directly (see as_event_sink)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _coerce_probe_sink(obj)
+
+
+def _coerce_probe_sink(
+    obj: Union[ProbeSink, Callable[[Traceroute], None]]
+) -> ProbeSink:
     if isinstance(obj, ProbeSink):
         return obj
     if callable(obj):
@@ -63,10 +213,14 @@ class CallbackSink:
 
 
 class FanoutSink:
-    """Deliver every trace to several sinks, in construction order."""
+    """Deprecated: deliver every trace to several probe sinks, in order.
 
-    def __init__(self, *sinks: SinkLike) -> None:
-        self.sinks: List[ProbeSink] = [as_sink(s) for s in sinks]
+    :class:`FanoutEvents` is the unified replacement; this class remains
+    for PR 1 call sites that compose plain probe sinks.
+    """
+
+    def __init__(self, *sinks: Union[ProbeSink, Callable[[Traceroute], None]]) -> None:
+        self.sinks: List[ProbeSink] = [_coerce_probe_sink(s) for s in sinks]
 
     def consume(self, trace: Traceroute) -> None:
         for sink in self.sinks:

@@ -1,0 +1,69 @@
+"""Span-based tracing and performance observability.
+
+The :mod:`repro.obs` package is the pipeline's flight recorder:
+
+* :mod:`repro.obs.span` -- the :class:`Tracer` / :class:`Span` /
+  :class:`SpanRecord` core, the :data:`NULL_TRACER` no-op, and the
+  packed wire rows that carry worker-side spans across the
+  multiprocessing boundary;
+* :mod:`repro.obs.export` -- JSONL and Chrome ``trace_event`` JSON
+  export (``--trace-out``; load the latter in Perfetto or
+  ``about:tracing``);
+* :mod:`repro.obs.analyze` -- the ``repro trace`` subcommand: top-N
+  self-time table and per-stage probe-yield funnel from a saved trace.
+
+Tracing is digest-neutral by contract: spans read
+:func:`time.perf_counter` only, never feed ``digest_inputs()``, and a
+traced run's ``--digest`` is bit-identical to an untraced run's at any
+worker count.  See DESIGN.md "Observability" for the span hierarchy.
+"""
+
+from repro.obs.analyze import (
+    CampaignRow,
+    campaign_funnel,
+    render_funnel,
+    render_self_time,
+    render_trace_summary,
+    self_time_table,
+)
+from repro.obs.export import (
+    read_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.span import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    TracerLike,
+    pack_spans,
+)
+
+__all__ = [
+    "CampaignRow",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "TracerLike",
+    "campaign_funnel",
+    "pack_spans",
+    "read_trace",
+    "render_funnel",
+    "render_self_time",
+    "render_trace_summary",
+    "self_time_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

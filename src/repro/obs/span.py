@@ -1,0 +1,350 @@
+"""Hierarchical span tracing for the measurement pipeline.
+
+A *span* is one timed region of the run -- the whole study, a pipeline
+stage, a probing campaign, one shard, one probe batch -- with a name, a
+category, counters, and a parent.  The :class:`Tracer` records spans as
+they close into an append-only stream of immutable :class:`SpanRecord`
+rows; exporters (:mod:`repro.obs.export`) and the ``repro trace``
+analyzer (:mod:`repro.obs.analyze`) consume that stream offline.
+
+Three contracts, in order of importance:
+
+* **digest-neutral** -- tracing reads :func:`time.perf_counter` only
+  (REP004-clean), never draws randomness, and never feeds
+  ``StudyResult.digest_inputs()``; a traced run's digest is bit-identical
+  to an untraced run's at any worker count.
+* **near-zero cost when disabled** -- the :data:`NULL_TRACER` singleton
+  answers every ``span()`` with a shared no-op span, so an untraced hot
+  path pays one attribute call and one branch per span, allocating
+  nothing.
+* **cross-process** -- worker processes cannot share the parent's
+  tracer, so a worker records into its own local :class:`Tracer`, ships
+  the result through :func:`pack_spans` on the executor's compact shard
+  wire format, and the parent re-bases it under the shard's span with
+  :meth:`Tracer.adopt_packed`.  Worker-side time (engine, fault
+  realization, serialization) therefore stays attributed separately from
+  parent-side merge/retry time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "TracerLike",
+    "pack_spans",
+]
+
+#: One packed span row on the shard wire format:
+#: ``(name, category, start, duration, parent_index, counter_items)``
+#: where ``start`` is relative to the packing tracer's epoch and
+#: ``parent_index`` indexes an earlier row (-1 = the adopting span).
+PackedSpan = Tuple[str, str, float, float, int, Tuple[Tuple[str, float], ...]]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: the immutable unit of the trace stream."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    #: seconds since the tracer's epoch (perf_counter timebase).
+    start: float
+    duration: float
+    #: counters set on the span, sorted by key for stable serialization.
+    counters: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def counter(self, key: str, default: float = 0.0) -> float:
+        for name, value in self.counters:
+            if name == key:
+                return value
+        return default
+
+
+class Span:
+    """A live, open span.  Close it (or use it as a context manager)."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "category",
+                 "start", "_counters", "closed")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        start: float,
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self._counters: Dict[str, float] = {}
+        self.closed = False
+
+    # -- counters ------------------------------------------------------
+
+    def set(self, key: str, value: float) -> None:
+        """Set a gauge on this span (last write wins)."""
+        self._counters[key] = float(value)
+
+    def incr(self, key: str, amount: float = 1.0) -> None:
+        """Bump a counter on this span."""
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._tracer._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class Tracer:
+    """Records a tree of spans against one perf_counter epoch.
+
+    Parenting is stack-based: ``span()`` nests the new span under the
+    innermost still-open span of this tracer, which matches the
+    synchronous call structure of the pipeline.  Closed spans become
+    :class:`SpanRecord` rows (in close order -- children before parents)
+    and are offered to every registered listener.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._records: List[SpanRecord] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+        self._listeners: List[Callable[[SpanRecord], None]] = []
+
+    # -- clock ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch (monotonic)."""
+        return time.perf_counter() - self._epoch
+
+    # -- span lifecycle ------------------------------------------------
+
+    def span(self, name: str, category: str = "span") -> Span:
+        """Open a span nested under the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, self._alloc_id(), parent, name, category, self.now())
+        self._stack.append(span)
+        return span
+
+    def _alloc_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _close(self, span: Span) -> None:
+        # Closing out of order (an inner span leaked past its parent) is
+        # tolerated: the leaked span is simply popped with its parent.
+        while self._stack and self._stack[-1].span_id != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        record = SpanRecord(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            category=span.category,
+            start=span.start,
+            duration=self.now() - span.start,
+            counters=tuple(sorted(span._counters.items())),
+        )
+        self._emit(record)
+
+    def _emit(self, record: SpanRecord) -> None:
+        self._records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    # -- stream access -------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[SpanRecord, ...]:
+        """Every closed span so far, in close order."""
+        return tuple(self._records)
+
+    def add_listener(self, listener: Callable[[SpanRecord], None]) -> None:
+        """Call ``listener(record)`` for every span closed from now on."""
+        self._listeners.append(listener)
+
+    # -- crossing the process boundary ---------------------------------
+
+    def pack(self) -> List[PackedSpan]:
+        """Serialize this tracer's closed spans for the shard wire format."""
+        return pack_spans(self._records)
+
+    def adopt_packed(
+        self,
+        packed: Optional[Sequence[Sequence[Any]]],
+        parent: Union["Span", "NullSpan"],
+        anchor: Optional[float] = None,
+    ) -> int:
+        """Re-base worker-packed spans under ``parent`` in this tracer.
+
+        ``anchor`` places the worker's epoch on this tracer's timeline;
+        it defaults to the parent span's start, so adopted spans render
+        inside the shard span that waited on them.  Returns the number
+        of spans adopted.
+        """
+        if not packed:
+            return 0
+        base = parent.start if anchor is None else anchor
+        # Rows arrive in close order (children before parents), so a
+        # parent_index can point forward; allocate every id up front.
+        id_by_index: Dict[int, int] = {
+            index: self._alloc_id() for index in range(len(packed))
+        }
+        adopted = 0
+        for index, row in enumerate(packed):
+            name, category, start, duration, parent_index, counters = row
+            span_id = id_by_index[index]
+            parent_id = (
+                id_by_index.get(int(parent_index), parent.span_id)
+                if int(parent_index) >= 0
+                else parent.span_id
+            )
+            self._emit(
+                SpanRecord(
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    name=str(name),
+                    category=str(category),
+                    start=base + float(start),
+                    duration=float(duration),
+                    counters=tuple(
+                        (str(k), float(v)) for k, v in counters
+                    ),
+                )
+            )
+            adopted += 1
+        return adopted
+
+
+def pack_spans(records: Sequence[SpanRecord]) -> List[PackedSpan]:
+    """Compact, JSON-safe wire rows for a worker's closed spans.
+
+    Parent links become indices into the packed list itself (-1 for a
+    worker-side root), so the parent tracer can rebuild the tree without
+    trusting the worker's span-id space.
+    """
+    index_by_id = {record.span_id: i for i, record in enumerate(records)}
+    rows: List[PackedSpan] = []
+    for record in records:
+        parent_index = (
+            index_by_id.get(record.parent_id, -1)
+            if record.parent_id is not None
+            else -1
+        )
+        rows.append(
+            (
+                record.name,
+                record.category,
+                record.start,
+                record.duration,
+                parent_index,
+                record.counters,
+            )
+        )
+    return rows
+
+
+class NullSpan:
+    """The shared do-nothing span; every method is a no-op."""
+
+    __slots__ = ()
+
+    span_id = -1
+    parent_id = None
+    name = ""
+    category = ""
+    start = 0.0
+    closed = True
+
+    def set(self, key: str, value: float) -> None:
+        pass
+
+    def incr(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: records nothing, allocates nothing.
+
+    Call sites hold a ``TracerLike`` and never branch themselves -- the
+    one-branch-per-span guarantee is this class answering ``span()``
+    with the shared :data:`NULL_SPAN`.
+    """
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, category: str = "span") -> NullSpan:
+        return NULL_SPAN
+
+    @property
+    def records(self) -> Tuple[SpanRecord, ...]:
+        return ()
+
+    def add_listener(self, listener: Callable[[SpanRecord], None]) -> None:
+        pass
+
+    def pack(self) -> List[PackedSpan]:
+        return []
+
+    def adopt_packed(
+        self,
+        packed: Optional[Sequence[Sequence[Any]]],
+        parent: Union[Span, NullSpan],
+        anchor: Optional[float] = None,
+    ) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+#: What pipeline code accepts: a real tracer or the null one.
+TracerLike = Union[Tracer, NullTracer]

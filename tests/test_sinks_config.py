@@ -31,20 +31,30 @@ def _trace(region="use1", dst=0x0B000001, completed=True):
 
 
 class TestAsSink:
-    def test_wraps_callable(self):
+    def test_wraps_callable_and_warns(self):
         seen = []
-        sink = as_sink(seen.append)
+        with pytest.warns(DeprecationWarning, match="as_sink"):
+            sink = as_sink(seen.append)
         assert isinstance(sink, CallbackSink)
         sink.consume(_trace())
         assert len(seen) == 1
 
     def test_passes_sinks_through(self):
         sink = CollectorSink()
-        assert as_sink(sink) is sink
+        with pytest.warns(DeprecationWarning):
+            assert as_sink(sink) is sink
 
     def test_rejects_non_sink(self):
-        with pytest.raises(TypeError):
+        with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
             as_sink(42)
+
+    def test_fanout_sink_does_not_warn(self, recwarn):
+        # The deprecated shim warns, but the internal coercion FanoutSink
+        # uses must not spam warnings at legacy composition sites.
+        FanoutSink(CollectorSink(), lambda t: None)
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
 
     def test_observatory_is_a_probe_sink(self):
         # Structural conformance is all that matters for the executor.
@@ -164,3 +174,308 @@ class TestLegacyKwargsShim:
     def test_unknown_kwarg_rejected(self, tiny_world):
         with pytest.raises(TypeError):
             AmazonPeeringStudy(tiny_world, frobnicate=True)
+
+
+# ----------------------------------------------------------------------
+# The unified EventSink surface (PR 6).
+# ----------------------------------------------------------------------
+
+from repro.measure.metrics import CampaignProgress, ShardTiming  # noqa: E402
+from repro.measure.sink import (  # noqa: E402
+    CallbackEvents,
+    EventSink,
+    FanoutEvents,
+    ProbeSinkEvents,
+    ProgressCallbackEvents,
+    as_event_sink,
+)
+from repro.obs.span import SpanRecord  # noqa: E402
+
+
+def _span_record(name="campaign:round1", category="campaign", **counters):
+    return SpanRecord(
+        span_id=1,
+        parent_id=None,
+        name=name,
+        category=category,
+        start=0.0,
+        duration=2.0,
+        counters=tuple(sorted((k, float(v)) for k, v in counters.items())),
+    )
+
+
+class TestEventSink:
+    def test_base_handlers_are_noops(self):
+        sink = EventSink()
+        sink.on_probe(_trace())
+        sink.on_shard_merged(CampaignProgress(label="x"), None)
+        sink.on_span_closed(_span_record())
+        sink.close()
+
+    def test_as_event_sink_coercions(self):
+        events = EventSink()
+        assert as_event_sink(events) is events
+        collector = CollectorSink()
+        wrapped = as_event_sink(collector)
+        assert isinstance(wrapped, ProbeSinkEvents)
+        wrapped.on_probe(_trace())
+        assert len(collector.traces) == 1
+        seen = []
+        as_event_sink(seen.append).on_probe(_trace())
+        assert len(seen) == 1
+        with pytest.raises(TypeError):
+            as_event_sink(42)
+
+    def test_as_event_sink_does_not_warn(self, recwarn):
+        as_event_sink(CollectorSink())
+        as_event_sink(lambda t: None)
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_probe_sink_events_close_propagates(self):
+        class Closeable:
+            closed = False
+
+            def consume(self, trace):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        closeable = Closeable()
+        ProbeSinkEvents(closeable).close()
+        assert closeable.closed
+
+    def test_progress_callback_adapter(self):
+        calls = []
+        sink = ProgressCallbackEvents(lambda p, t: calls.append((p, t)))
+        progress = CampaignProgress(label="round1")
+        timing = ShardTiming(index=0, region="use1", probes=4, seconds=0.1)
+        sink.on_shard_merged(progress, timing)
+        sink.on_probe(_trace())  # not its event; must be ignored
+        assert calls == [(progress, timing)]
+
+    def test_fanout_events_drops_none_and_fans_out(self):
+        order = []
+
+        class Spy(EventSink):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_probe(self, trace):
+                order.append(("probe", self.tag))
+
+            def on_span_closed(self, record):
+                order.append(("span", self.tag))
+
+            def close(self):
+                order.append(("close", self.tag))
+
+        fan = FanoutEvents(Spy("a"), None, Spy("b"), lambda t: order.append(("cb", "c")))
+        assert len(fan.sinks) == 3
+        fan.on_probe(_trace())
+        fan.on_span_closed(_span_record())
+        fan.on_shard_merged(CampaignProgress(label="x"), None)
+        fan.close()
+        assert order == [
+            ("probe", "a"), ("probe", "b"), ("cb", "c"),
+            ("span", "a"), ("span", "b"),
+            ("close", "a"), ("close", "b"),
+        ]
+
+    def test_callback_events_forwards(self):
+        seen = []
+        CallbackEvents(seen.append).on_probe(_trace())
+        assert len(seen) == 1
+
+
+class TestProgressPrinter:
+    """The --progress printer: throttling plus the guaranteed final line."""
+
+    def _printer(self, min_interval):
+        from repro.cli import _ProgressPrinter
+
+        return _ProgressPrinter(min_interval=min_interval)
+
+    def _progress(self, probes, expected=100):
+        p = CampaignProgress(label="round1", workers=2)
+        p.start(expected_probes=expected, shards=10, workers=2)
+        p.probes = probes
+        return p
+
+    def test_throttle_swallows_intermediate_lines(self, capsys):
+        printer = self._printer(min_interval=3600.0)
+        printer.on_shard_merged(self._progress(10), None)   # first: printed
+        printer.on_shard_merged(self._progress(20), None)   # throttled
+        printer.on_shard_merged(self._progress(30), None)   # throttled
+        err = capsys.readouterr().err
+        assert "10/100" in err
+        assert "20/100" not in err and "30/100" not in err
+
+    def test_campaign_close_always_flushes_final_state(self, capsys):
+        # The historical bug: with every trailing shard line throttled
+        # away (or the final shard quarantined, so on_shard_merged never
+        # fires at 100%), the user's last line understated the campaign.
+        printer = self._printer(min_interval=3600.0)
+        printer.on_shard_merged(self._progress(10), None)
+        printer.on_shard_merged(self._progress(90), None)   # throttled
+        printer.on_span_closed(
+            _span_record(
+                probes=90, expected=100, lost=10, workers=2, retries=3,
+            )
+        )
+        err = capsys.readouterr().err
+        assert "90/100" in err
+        assert "10 probe(s) lost to quarantine" in err
+
+    def test_final_flush_dedupes_when_merge_already_printed(self, capsys):
+        printer = self._printer(min_interval=0.0)
+        done = self._progress(100)
+        printer.on_shard_merged(done, None)
+        printer.on_span_closed(
+            _span_record(probes=100, expected=100, workers=2)
+        )
+        err = capsys.readouterr().err
+        assert err.count("100/100") == 1
+
+    def test_non_campaign_spans_are_ignored(self, capsys):
+        printer = self._printer(min_interval=0.0)
+        printer.on_span_closed(_span_record(name="shard:3", category="shard"))
+        assert capsys.readouterr().err == ""
+
+
+# ----------------------------------------------------------------------
+# TOML config files and plan spec round-trips (PR 6).
+# ----------------------------------------------------------------------
+
+from repro.core import config as config_mod  # noqa: E402
+from repro.datasets.datafaults import DataFaultPlan  # noqa: E402
+from repro.measure.faults import FaultPlan  # noqa: E402
+
+needs_tomllib = pytest.mark.skipif(
+    config_mod.tomllib is None, reason="stdlib tomllib unavailable (< 3.11)"
+)
+
+
+def _full_config():
+    return StudyConfig(
+        scale=0.02,
+        seed=9,
+        expansion_stride=8,
+        crossval_folds=4,
+        run_vpi=False,
+        workers=3,
+        fault_plan=FaultPlan(
+            seed=2,
+            crash_rate=0.25,
+            crash_attempts=2,
+            slow_rate=0.1,
+            slow_seconds=0.5,
+            poison_shards=(3, 7),
+            region_loss={"use1": 0.05, "euw1": 0.1},
+            rate_limit_rate=0.2,
+            rate_limit_window=5,
+        ),
+        shard_timeout=2.5,
+        max_retries=1,
+        retry_backoff_s=0.01,
+        data_fault_plan=DataFaultPlan(seed=3, bgp_stale_rate=0.1, whois_gap_rate=0.2),
+        min_confidence=0.4,
+        trace=True,
+        trace_out="trace.json",
+    )
+
+
+class TestPlanSpecs:
+    def test_fault_plan_spec_round_trips(self):
+        plan = _full_config().fault_plan
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_default_fault_plan_spec_round_trips(self):
+        assert FaultPlan.parse(FaultPlan().to_spec()) == FaultPlan()
+
+    def test_data_fault_plan_spec_round_trips(self):
+        plan = _full_config().data_fault_plan
+        assert DataFaultPlan.parse(plan.to_spec()) == plan
+        assert DataFaultPlan.parse(DataFaultPlan().to_spec()) == DataFaultPlan()
+
+
+class TestTomlConfig:
+    @needs_tomllib
+    def test_round_trip_every_field(self):
+        config = _full_config()
+        assert StudyConfig.from_toml(config.to_toml()) == config
+
+    @needs_tomllib
+    def test_round_trip_defaults(self):
+        config = StudyConfig()
+        assert StudyConfig.from_toml(config.to_toml()) == config
+
+    @needs_tomllib
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "study.toml"
+        path.write_text(_full_config().to_toml())
+        assert StudyConfig.from_file(path) == _full_config()
+
+    @needs_tomllib
+    def test_unknown_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown config key"):
+            StudyConfig.from_toml("wrokers = 4\n")
+
+    @needs_tomllib
+    def test_invalid_value_propagates(self):
+        with pytest.raises(ValueError):
+            StudyConfig.from_toml("workers = 0\n")
+
+    def test_from_mapping_parses_plan_specs(self):
+        config = StudyConfig.from_mapping(
+            {"fault_plan": "crash=0.5,seed=4", "data_fault_plan": "moas=0.1,seed=2"}
+        )
+        assert config.fault_plan == FaultPlan(seed=4, crash_rate=0.5)
+        assert config.data_fault_plan == DataFaultPlan(seed=2, moas_rate=0.1)
+
+    def test_from_mapping_accepts_plan_objects(self):
+        plan = FaultPlan(seed=1, crash_rate=0.1)
+        assert StudyConfig.from_mapping({"fault_plan": plan}).fault_plan is plan
+
+
+class TestConfigFlagPrecedence:
+    """`--config study.toml` with explicit CLI flags as overrides."""
+
+    @needs_tomllib
+    def test_file_sets_defaults_and_flags_override(self, tmp_path):
+        from repro.cli import _config_defaults, build_parser
+
+        config = _full_config()
+        parser = build_parser()
+        parser.set_defaults(**_config_defaults(config))
+        args = parser.parse_args(["--seed", "99", "--workers", "1"])
+        # Typed flags win...
+        assert args.seed == 99
+        assert args.workers == 1
+        # ...everything else inherits from the file.
+        assert args.scale == 0.02
+        assert args.expansion_stride == 8
+        assert args.skip_vpi is True
+        assert args.skip_crossval is False
+        assert args.max_retries == 1
+        assert args.shard_timeout == 2.5
+        assert args.min_confidence == 0.4
+        assert args.trace is True
+        assert args.trace_out == "trace.json"
+        # Fault plans travel as their canonical spec strings.
+        assert FaultPlan.parse(args.fault_plan) == config.fault_plan
+        assert (
+            DataFaultPlan.parse(args.data_fault_plan) == config.data_fault_plan
+        )
+
+    @needs_tomllib
+    def test_cli_errors_on_bad_config_file(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = tmp_path / "study.toml"
+        path.write_text("wrokers = 4\n")
+        with pytest.raises(SystemExit):
+            cli_main(["--config", str(path)])
+        assert "unknown config key" in capsys.readouterr().err
