@@ -17,9 +17,11 @@ The package has four layers:
   (the §8 baseline) and :mod:`repro.analysis` (tables/figures/report).
 
 Cross-cutting: :mod:`repro.obs` is the digest-neutral span tracer and
-trace exporter behind ``--trace-out`` / ``repro trace``, and
+trace exporter behind ``--trace-out`` / ``repro trace``,
 :class:`repro.measure.sink.EventSink` is the consolidated consumer of
-probe / shard-merged / span-closed events.
+probe / shard-merged / span-closed events, and :mod:`repro.bench` is
+the ``repro bench`` perf harness (scenario runs folded into diffable
+``BENCH_<scenario>.json`` reports).
 
 Quickstart::
 
@@ -53,7 +55,7 @@ from repro.obs import (
 from repro.world.build import WorldConfig, build_world
 from repro.world.model import World
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AmazonPeeringStudy",

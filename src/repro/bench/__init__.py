@@ -1,0 +1,58 @@
+"""Performance benchmark harness: the ``repro bench`` subcommand.
+
+Runs parameterized scenarios (annotate-only microbench, clean serial
+study, parallel, faulty, dirty-data) against the seeded synthetic world,
+folds span self-times and workload counters into a stable JSON schema,
+and writes ``BENCH_<scenario>.json`` reports that CI can diff.
+
+The schema separates three kinds of numbers by how they regress:
+
+* ``counters`` -- exact workload counts (probes sent, LPM probes,
+  cache misses, the study digest).  Any drift is a regression.
+* ``efficiency`` -- derived lower-is-better ratios (LPM probes per
+  lookup, annotation miss rate).  Gated by a relative threshold;
+  improvements always pass.
+* ``timings`` -- wall-clock seconds per stage / span family.
+  Informational only: never gated, excluded from determinism tests.
+
+``repro bench --compare old.json new.json`` renders the delta table and
+exits 0 (ok), 1 (regression), or 2 (reports are not comparable).
+"""
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    BenchMismatch,
+    Delta,
+    compare_reports,
+    has_regression,
+    render_deltas,
+)
+from repro.bench.report import (
+    BENCH_SCHEMA,
+    BenchReport,
+    bench_path,
+    read_report,
+    write_report,
+)
+from repro.bench.scenarios import (
+    BenchParams,
+    SCENARIOS,
+    run_scenario,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchMismatch",
+    "BenchParams",
+    "BenchReport",
+    "DEFAULT_THRESHOLD",
+    "Delta",
+    "SCENARIOS",
+    "bench_path",
+    "compare_reports",
+    "has_regression",
+    "read_report",
+    "render_deltas",
+    "run_scenario",
+    "write_report",
+]

@@ -1,0 +1,149 @@
+"""``repro bench``: run scenarios, write ``BENCH_*.json``, diff reports.
+
+::
+
+    python -m repro bench                        # annotate + study
+    python -m repro bench --all                  # every scenario
+    python -m repro bench study-workers4         # named scenarios
+    python -m repro bench --list
+    python -m repro bench --compare BENCH_study.json new/BENCH_study.json
+
+Exit status: 0 clean, 1 regression (``--compare``), 2 usage error or
+incomparable reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    BenchMismatch,
+    compare_reports,
+    has_regression,
+    render_deltas,
+)
+from repro.bench.report import read_report, write_report
+from repro.bench.scenarios import (
+    SCENARIOS,
+    BenchParams,
+    run_scenario,
+    scenario_table,
+)
+
+#: scenarios a bare ``repro bench`` runs (the committed baselines).
+DEFAULT_SCENARIOS = ("annotate", "study")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Run performance benchmark scenarios against the seeded "
+            "synthetic world and write BENCH_<scenario>.json reports, "
+            "or diff two existing reports."
+        ),
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help=f"scenarios to run (default: {' '.join(DEFAULT_SCENARIOS)}; "
+             "see --list)",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list the known scenarios and exit")
+    parser.add_argument("--all", action="store_true",
+                        help="run every known scenario")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="diff two BENCH_*.json reports instead of "
+                             "running anything; exit 1 on regression")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative headroom for efficiency metrics "
+                             f"under --compare (default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--out-dir", type=str, default=".", metavar="DIR",
+                        help="directory the reports are written to "
+                             "(default: current directory)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="world scale override (default 0.02)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="world + campaign seed override (default 7)")
+    parser.add_argument("--expansion-stride", type=int, default=None,
+                        help="expansion sub-sampling override (default 8)")
+    return parser
+
+
+def _params(args: argparse.Namespace) -> BenchParams:
+    defaults = BenchParams()
+    return BenchParams(
+        scale=args.scale if args.scale is not None else defaults.scale,
+        seed=args.seed if args.seed is not None else defaults.seed,
+        expansion_stride=(
+            args.expansion_stride
+            if args.expansion_stride is not None
+            else defaults.expansion_stride
+        ),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list:
+        print("bench scenarios:")
+        for name, description in scenario_table():
+            print(f"  {name:<16} {description}")
+        return 0
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = read_report(old_path)
+            new = read_report(new_path)
+            deltas = compare_reports(old, new, threshold=args.threshold)
+        except BenchMismatch as exc:
+            print(f"bench compare: not comparable: {exc}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"bench compare: {exc}", file=sys.stderr)
+            return 2
+        print(render_deltas(old, new, deltas))
+        return 1 if has_regression(deltas) else 0
+
+    names: List[str] = list(args.scenarios)
+    if args.all:
+        if names:
+            parser.error("--all and explicit scenario names are exclusive")
+        names = list(SCENARIOS)
+    elif not names:
+        names = list(DEFAULT_SCENARIOS)
+    unknown = sorted(set(names) - set(SCENARIOS))
+    if unknown:
+        parser.error(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(known: {', '.join(SCENARIOS)})"
+        )
+
+    params = _params(args)
+    Path(args.out_dir).mkdir(parents=True, exist_ok=True)
+    for name in names:
+        print(f"bench {name}: running...", file=sys.stderr)
+        t0 = time.perf_counter()
+        report = run_scenario(name, params)
+        path = write_report(report, args.out_dir)
+        seconds = time.perf_counter() - t0
+        print(
+            f"bench {name}: wrote {path} "
+            f"(digest {report.digest[:12]}, {seconds:.1f}s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

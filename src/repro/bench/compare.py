@@ -1,0 +1,171 @@
+"""Report diffing: the ``repro bench --compare old.json new.json`` path.
+
+Two reports are *comparable* only when their scenario, schema, and
+params agree -- otherwise the numbers describe different workloads and
+any delta is meaningless (:class:`BenchMismatch`, exit code 2).
+
+Comparable reports regress section by section:
+
+* ``digest``     -- any change is a regression;
+* ``counters``   -- exact integers; any drift (or a key appearing /
+  disappearing) is a regression;
+* ``efficiency`` -- lower is better; a regression needs the new value
+  to exceed the old by more than the relative ``threshold``;
+* ``timings``    -- rendered for the human, never gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.bench.report import BenchReport
+
+#: relative headroom an efficiency metric may grow before it regresses.
+DEFAULT_THRESHOLD = 0.05
+
+
+class BenchMismatch(ValueError):
+    """The two reports do not describe the same workload."""
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared entry."""
+
+    section: str  # "digest" | "counter" | "efficiency" | "timing"
+    key: str
+    old: Optional[Any]
+    new: Optional[Any]
+    regressed: bool
+
+    @property
+    def changed(self) -> bool:
+        return self.old != self.new
+
+
+def compare_reports(
+    old: BenchReport,
+    new: BenchReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Delta]:
+    """Every compared entry, gated sections first.
+
+    Raises :class:`BenchMismatch` when the reports are not comparable.
+    """
+    if old.schema != new.schema:
+        raise BenchMismatch(
+            f"schema mismatch: {old.schema!r} vs {new.schema!r}"
+        )
+    if old.scenario != new.scenario:
+        raise BenchMismatch(
+            f"scenario mismatch: {old.scenario!r} vs {new.scenario!r}"
+        )
+    if old.params != new.params:
+        drifted = sorted(
+            set(old.params) | set(new.params),
+        )
+        detail = ", ".join(
+            f"{key}: {old.params.get(key)!r} vs {new.params.get(key)!r}"
+            for key in drifted
+            if old.params.get(key) != new.params.get(key)
+        )
+        raise BenchMismatch(f"params mismatch: {detail}")
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+
+    deltas: List[Delta] = [
+        Delta(
+            section="digest",
+            key="digest",
+            old=old.digest,
+            new=new.digest,
+            regressed=old.digest != new.digest,
+        )
+    ]
+    for key in sorted(set(old.counters) | set(new.counters)):
+        a, b = old.counters.get(key), new.counters.get(key)
+        deltas.append(
+            Delta(section="counter", key=key, old=a, new=b, regressed=a != b)
+        )
+    for key in sorted(set(old.efficiency) | set(new.efficiency)):
+        a, b = old.efficiency.get(key), new.efficiency.get(key)
+        if a is None or b is None:
+            regressed = True  # metric appeared or vanished
+        else:
+            limit = a * (1.0 + threshold) if a > 0 else threshold
+            regressed = b > limit
+        deltas.append(
+            Delta(
+                section="efficiency", key=key, old=a, new=b, regressed=regressed
+            )
+        )
+    for key in sorted(set(old.timings) | set(new.timings)):
+        deltas.append(
+            Delta(
+                section="timing",
+                key=key,
+                old=old.timings.get(key),
+                new=new.timings.get(key),
+                regressed=False,  # wall clock never gates
+            )
+        )
+    return deltas
+
+
+def has_regression(deltas: List[Delta]) -> bool:
+    return any(d.regressed for d in deltas)
+
+
+# ----------------------------------------------------------------------
+
+
+def _fmt(value: Optional[Any]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, str) and len(value) > 16:
+        return value[:16] + "…"
+    return str(value)
+
+
+def _fmt_change(delta: Delta) -> str:
+    if delta.old is None or delta.new is None:
+        return "added" if delta.old is None else "removed"
+    if isinstance(delta.old, str) or isinstance(delta.new, str):
+        return "changed" if delta.changed else ""
+    diff = delta.new - delta.old
+    if diff == 0:
+        return ""
+    pct = f" ({diff / delta.old * +100:+.1f}%)" if delta.old else ""
+    if isinstance(diff, float):
+        return f"{diff:+.4f}{pct}"
+    return f"{diff:+d}{pct}"
+
+
+def render_deltas(
+    old: BenchReport, new: BenchReport, deltas: List[Delta]
+) -> str:
+    """The human-readable delta table."""
+    regressions = [d for d in deltas if d.regressed]
+    lines = [
+        f"bench compare: scenario {old.scenario!r} "
+        f"({len(regressions)} regression(s))",
+        f"  {'section':<11} {'metric':<28} {'old':>18} {'new':>18} "
+        f"{'delta':>16} {'':>4}",
+    ]
+    for delta in deltas:
+        flag = "FAIL" if delta.regressed else ""
+        lines.append(
+            f"  {delta.section:<11} {delta.key:<28} {_fmt(delta.old):>18} "
+            f"{_fmt(delta.new):>18} {_fmt_change(delta):>16} {flag:>4}"
+        )
+    if regressions:
+        lines.append(
+            "  regressed: "
+            + ", ".join(f"{d.section}/{d.key}" for d in regressions)
+        )
+    else:
+        lines.append("  ok: no counter, digest, or efficiency regressions")
+    return "\n".join(lines)

@@ -90,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="load study configuration from a TOML file "
                              "(see StudyConfig.to_toml); explicit CLI flags "
                              "override the file's values")
+    parser.add_argument("--no-shared-annotation-cache", action="store_true",
+                        help="give every annotator a private cache instead of "
+                             "sharing one across the round-2 and VPI "
+                             "annotators (digest-identical either way)")
     parser.add_argument("--trace", action="store_true",
                         help="record fine-grained worker-side spans (probe "
                              "batches, fault delays); coarse spans are always "
@@ -126,6 +130,7 @@ def _config_defaults(config: StudyConfig) -> Dict[str, Any]:
             config.data_fault_plan.to_spec() if config.data_fault_plan else None
         ),
         "min_confidence": config.min_confidence,
+        "no_shared_annotation_cache": not config.shared_annotation_cache,
         "trace": config.trace,
         "trace_out": config.trace_out,
     }
@@ -216,6 +221,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.analyze import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # `repro bench [scenario...|--compare old new]` runs the perf
+        # scenarios and writes/diffs BENCH_<scenario>.json reports.
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     parser = build_parser()
     # First pass: find --config so the file's values become the parser
     # defaults; any flag the user actually types then overrides the file.
@@ -256,6 +267,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             resume=args.resume,
             data_fault_plan=data_fault_plan,
             min_confidence=args.min_confidence,
+            shared_annotation_cache=not args.no_shared_annotation_cache,
             retry_backoff_s=(
                 file_config.retry_backoff_s
                 if file_config is not None

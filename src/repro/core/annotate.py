@@ -26,11 +26,11 @@ never the world.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.asn import AMAZON_ORG_ID, ASN
-from repro.net.ip import IPv4, is_private, is_shared
+from repro.net.ip import IPv4, is_private_or_shared
 from repro.datasets.as2org import AS2Org
 from repro.datasets.bgp import BGPSnapshot
 from repro.datasets.ixp import IXPDirectory
@@ -86,8 +86,95 @@ class HopAnnotation:
     disagreements: Tuple[str, ...] = ()
 
 
+class AnnotationInternPool:
+    """Content-keyed intern pool: one object per distinct annotation value.
+
+    The r1, r2, and per-cloud annotators mostly agree on any given
+    address (origins rarely move between rounds), so identical
+    :class:`HopAnnotation` values collapse to a single shared instance
+    instead of one allocation per annotator per round.  Purely a memory
+    / allocation optimization: interning is keyed by the full frozen
+    content, so it can never change what any caller observes.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Dict[Tuple, HopAnnotation] = {}
+        #: lookups answered with an already-pooled instance.
+        self.hits: int = 0
+
+    def intern(self, ann: HopAnnotation) -> HopAnnotation:
+        key = astuple(ann)
+        found = self._pool.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self._pool[key] = ann
+        return ann
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def clear(self) -> None:
+        self._pool.clear()
+        self.hits = 0
+
+
+#: Process-wide default pool.  Shared across every annotator unless a
+#: caller supplies its own; bounded by the number of *distinct*
+#: annotation values ever computed, which scale keeps small.
+GLOBAL_INTERN_POOL = AnnotationInternPool()
+
+
+class AnnotationCache:
+    """A read-only-after-warm annotation cache shareable across annotators.
+
+    One cache may back several :class:`HopAnnotator` instances **as long
+    as they annotate against the same datasets** -- ``home_org`` is
+    deliberately not part of the identity because it never influences
+    annotation content (only the ``is_home`` / border predicates).  The
+    pipeline shares one cache across the round-2 annotator and every
+    per-cloud VPI annotator, so an address annotated in the expansion
+    campaign is never recomputed in the VPI stage.
+
+    ``bind`` enforces the same-datasets contract: the first annotator
+    binds its dataset identity, and any annotator over different
+    datasets is rejected loudly instead of silently cross-reading.
+    """
+
+    def __init__(self, intern_pool: Optional[AnnotationInternPool] = None) -> None:
+        self._by_ip: Dict[IPv4, HopAnnotation] = {}
+        self._pool = intern_pool if intern_pool is not None else GLOBAL_INTERN_POOL
+        self._dataset_key: Optional[Tuple[int, int, int, int]] = None
+
+    def bind(self, dataset_key: Tuple[int, int, int, int]) -> None:
+        if self._dataset_key is None:
+            self._dataset_key = dataset_key
+        elif self._dataset_key != dataset_key:
+            raise ValueError(
+                "AnnotationCache shared across annotators with different "
+                "datasets; give each dataset family its own cache"
+            )
+
+    def get(self, ip: IPv4) -> Optional[HopAnnotation]:
+        return self._by_ip.get(ip)
+
+    def put(self, ip: IPv4, ann: HopAnnotation) -> HopAnnotation:
+        ann = self._pool.intern(ann)
+        self._by_ip[ip] = ann
+        return ann
+
+    def __len__(self) -> int:
+        return len(self._by_ip)
+
+
 class HopAnnotator:
-    """Annotates addresses against one BGP snapshot round."""
+    """Annotates addresses against one BGP snapshot round.
+
+    ``cache`` lets several annotators over the *same* datasets share one
+    :class:`AnnotationCache` (and its interned annotations); by default
+    each annotator gets a private cache, preserving the historical
+    behaviour.
+    """
 
     def __init__(
         self,
@@ -96,13 +183,15 @@ class HopAnnotator:
         as2org: AS2Org,
         ixps: IXPDirectory,
         home_org: str = AMAZON_ORG_ID,
+        cache: Optional[AnnotationCache] = None,
     ) -> None:
         self.bgp = bgp
         self.whois = whois
         self.as2org = as2org
         self.ixps = ixps
         self.home_org = home_org
-        self._cache: Dict[IPv4, HopAnnotation] = {}
+        self._cache = cache if cache is not None else AnnotationCache()
+        self._cache.bind((id(bgp), id(whois), id(as2org), id(ixps)))
         # Observability counters (attached to the study span by the
         # pipeline); pure bookkeeping, never read back by inference.
         self.cache_hits: int = 0
@@ -118,8 +207,7 @@ class HopAnnotator:
         if cached is not None:
             self.cache_hits += 1
             return cached
-        ann = self._compute(ip)
-        self._cache[ip] = ann
+        ann = self._cache.put(ip, self._compute(ip))
         self.cache_misses += 1
         self.fallback_depth_total += len(ann.sources_consulted)
         self.disagreement_flags += len(ann.disagreements)
@@ -154,7 +242,7 @@ class HopAnnotator:
             )
 
         consulted.append(AnnotationSource.PRIVATE)
-        if is_private(ip) or is_shared(ip):
+        if is_private_or_shared(ip):
             return self._finish(
                 ip, 0, None, False, None, AnnotationSource.PRIVATE,
                 CONF_PRIVATE, consulted, disagreements,

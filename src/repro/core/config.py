@@ -72,6 +72,14 @@ class StudyConfig:
     #: pins are flagged in the data-quality report (0 = no flagging).
     min_confidence: float = 0.0
 
+    # --- performance ----------------------------------------------------
+    #: share one read-only annotation cache (and interned annotations)
+    #: across the round-2 and per-cloud VPI annotators.  Annotation
+    #: content never depends on the annotator's home org, so this is
+    #: digest-neutral by contract (enforced by the golden-snapshot
+    #: tests); turn it off to give every annotator a private cache.
+    shared_annotation_cache: bool = True
+
     # --- observability --------------------------------------------------
     #: record fine-grained worker-side spans (probe batches, fault
     #: delays, wire packing).  Coarse spans (study/stage/campaign/shard)

@@ -23,7 +23,7 @@ from repro.net.asn import AMAZON_ASNS, CLOUD_ORG_IDS
 from repro.net.ip import IPv4
 from repro.core.aliasverify import AliasVerifier
 from repro.core.anchors import AnchorBuilder
-from repro.core.annotate import AnnotationSource, HopAnnotator
+from repro.core.annotate import AnnotationCache, AnnotationSource, HopAnnotator
 from repro.core.borders import BorderObservatory
 from repro.core.config import StudyConfig
 from repro.core.crossval import cross_validate_pinning
@@ -154,12 +154,27 @@ class AmazonPeeringStudy:
         self.rdns = ReverseDNS(world)
         self.alias_resolver = AliasResolver(world, seed=seed)
 
-        # Annotators per round and per probing cloud.
+        # Annotators per round and per probing cloud.  The round-2 and
+        # per-cloud annotators read the same datasets (home_org never
+        # changes annotation content), so by default they share one
+        # read-only cache: an address annotated during expansion is
+        # never recomputed for any VPI cloud.  Round 1 reads a different
+        # snapshot and always keeps its own cache.
+        r2_cache = (
+            AnnotationCache() if config.shared_annotation_cache else None
+        )
         self.annotator_r1 = HopAnnotator(self.bgp_r1, self.whois, self.as2org, self.ixps)
-        self.annotator_r2 = HopAnnotator(self.bgp_r2, self.whois, self.as2org, self.ixps)
+        self.annotator_r2 = HopAnnotator(
+            self.bgp_r2, self.whois, self.as2org, self.ixps, cache=r2_cache
+        )
         self.cloud_annotators: Dict[str, HopAnnotator] = {
             cloud: HopAnnotator(
-                self.bgp_r2, self.whois, self.as2org, self.ixps, home_org=org
+                self.bgp_r2,
+                self.whois,
+                self.as2org,
+                self.ixps,
+                home_org=org,
+                cache=r2_cache,
             )
             for cloud, org in CLOUD_ORG_IDS.items()
             if cloud != "amazon"
@@ -415,6 +430,14 @@ class AmazonPeeringStudy:
         study_span.set(
             "annotation_disagreements",
             sum(a.disagreement_flags for a in annotators),
+        )
+        study_span.set(
+            "bgp_lpm_lookups",
+            self.bgp_r1.lookup_count + self.bgp_r2.lookup_count,
+        )
+        study_span.set(
+            "bgp_lpm_probes",
+            self.bgp_r1.probe_count + self.bgp_r2.probe_count,
         )
         study_span.set("dataset_disagreements", metrics.dataset_disagreements)
         study_span.set(

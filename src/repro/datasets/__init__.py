@@ -6,7 +6,12 @@ these, never the world's ground truth.
 """
 
 from repro.datasets.as2org import AS2Org, as2org_from_world
-from repro.datasets.bgp import Announcement, BGPSnapshot, snapshot_from_world
+from repro.datasets.bgp import (
+    Announcement,
+    BGPSnapshot,
+    NaiveLPMTable,
+    snapshot_from_world,
+)
 from repro.datasets.datafaults import DataFaultPlan
 from repro.datasets.ixp import IXPDirectory, ixp_directory_from_world
 from repro.datasets.peeringdb import (
@@ -32,6 +37,7 @@ __all__ = [
     "DataFaultPlan",
     "DatasetValidationReport",
     "IXPDirectory",
+    "NaiveLPMTable",
     "PDBFacility",
     "PDBIXP",
     "PDBNetixlan",

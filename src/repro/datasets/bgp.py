@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.net.asn import AMAZON_PRIMARY_ASN, ASN
-from repro.net.ip import IPv4, Prefix
+from repro.net.ip import IPv4, Prefix, PrefixLPMIndex
 from repro.datasets.datafaults import DataFaultPlan
 from repro.world.model import World
 
@@ -28,6 +28,57 @@ class Announcement:
     origin_asn: ASN
 
 
+class NaiveLPMTable:
+    """The retained pre-index reference: a per-length dict scan.
+
+    This is the classic lookup ``BGPSnapshot`` shipped with -- walk the
+    announced prefix lengths from /32 down, probing one dict per length
+    until something matches (up to 33 probes per address).  It is kept
+    as the *oracle* for the differential equivalence tests
+    (``tests/test_lpm_equivalence.py``) and as the baseline side of the
+    annotate-only microbench, where ``probe_count`` quantifies exactly
+    how much work the indexed path saves.  Never use it on a hot path.
+    """
+
+    def __init__(
+        self,
+        announcements: Iterable[Announcement],
+        moas: Optional[Mapping[Tuple[int, int], Tuple[ASN, ...]]] = None,
+    ) -> None:
+        self._by_length: Dict[int, Dict[int, ASN]] = {}
+        for ann in announcements:
+            table = self._by_length.setdefault(ann.prefix.length, {})
+            table[ann.prefix.network] = ann.origin_asn
+        self._lengths = sorted(self._by_length, reverse=True)
+        self._moas: Dict[Tuple[int, int], Tuple[ASN, ...]] = dict(moas or {})
+        #: observability counters (never read back by inference).
+        self.lookup_count: int = 0
+        self.probe_count: int = 0
+
+    def lookup(self, ip: IPv4) -> Optional[Tuple[Prefix, ASN]]:
+        """Longest matching ``(prefix, origin)``, scanning length tables."""
+        self.lookup_count += 1
+        for length in self._lengths:
+            mask = 0xFFFFFFFF << (32 - length) & 0xFFFFFFFF if length else 0
+            network = ip & mask
+            self.probe_count += 1
+            asn = self._by_length[length].get(network)
+            if asn is not None:
+                return Prefix(network, length), asn
+        return None
+
+    def origin_of(self, ip: IPv4) -> Optional[ASN]:
+        match = self.lookup(ip)
+        return match[1] if match is not None else None
+
+    def origins_of(self, ip: IPv4) -> Tuple[ASN, ...]:
+        match = self.lookup(ip)
+        if match is None:
+            return ()
+        prefix, asn = match
+        return self._moas.get((prefix.network, prefix.length), (asn,))
+
+
 class BGPSnapshot:
     """Longest-prefix-match table plus announced AS adjacencies.
 
@@ -35,6 +86,13 @@ class BGPSnapshot:
     more than one origin.  The LPM table keeps the first origin (route
     collectors pick one best path too), but :meth:`origins_of` exposes
     every claimed origin so the annotation layer can record the conflict.
+
+    Lookups run on a :class:`~repro.net.ip.PrefixLPMIndex` built once at
+    construction -- one bisect per address instead of the naive
+    per-length dict scan (see :class:`NaiveLPMTable`, retained as the
+    differential-test oracle).  ``lookup_count`` / ``probe_count``
+    mirror the naive table's counters so the two costs are directly
+    comparable; they are observability only and never feed inference.
     """
 
     def __init__(
@@ -45,40 +103,45 @@ class BGPSnapshot:
         moas: Optional[Mapping[Prefix, Tuple[ASN, ...]]] = None,
     ) -> None:
         self.label = label
-        self._by_length: Dict[int, Dict[int, ASN]] = {}
-        self.announcements: List[Announcement] = []
-        for ann in announcements:
-            self.announcements.append(ann)
-            table = self._by_length.setdefault(ann.prefix.length, {})
-            table[ann.prefix.network] = ann.origin_asn
-        self._lengths = sorted(self._by_length, reverse=True)
+        self.announcements: List[Announcement] = list(announcements)
+        self._lpm: PrefixLPMIndex[ASN] = PrefixLPMIndex(
+            (ann.prefix, ann.origin_asn) for ann in self.announcements
+        )
+        #: origin ASN -> announced prefixes, in announcement order;
+        #: built once so ``prefixes_of`` never rescans the full table.
+        self._by_origin: Dict[ASN, List[Prefix]] = {}
+        for ann in self.announcements:
+            self._by_origin.setdefault(ann.origin_asn, []).append(ann.prefix)
         self.as_links: Set[FrozenSet[ASN]] = {
             frozenset(link) for link in as_links
         }
         self._moas: Dict[Tuple[int, int], Tuple[ASN, ...]] = {}
         for prefix, origins in (moas or {}).items():
             self._moas[(prefix.network, prefix.length)] = tuple(origins)
+        #: observability counters (never read back by inference).
+        self.lookup_count: int = 0
+        self.probe_count: int = 0
 
     # ------------------------------------------------------------------
 
+    def lookup(self, ip: IPv4) -> Optional[Tuple[Prefix, ASN]]:
+        """The longest matching ``(prefix, origin)`` pair, in one probe."""
+        self.lookup_count += 1
+        self.probe_count += 1
+        return self._lpm.lookup(ip)
+
     def origin_of(self, ip: IPv4) -> Optional[ASN]:
         """Longest-prefix-match origin AS for ``ip`` (None if unannounced)."""
-        for length in self._lengths:
-            mask = 0xFFFFFFFF << (32 - length) & 0xFFFFFFFF if length else 0
-            asn = self._by_length[length].get(ip & mask)
-            if asn is not None:
-                return asn
-        return None
+        match = self.lookup(ip)
+        return match[1] if match is not None else None
 
     def origins_of(self, ip: IPv4) -> Tuple[ASN, ...]:
         """Every origin announcing the LPM prefix (>1 under a MOAS conflict)."""
-        for length in self._lengths:
-            mask = 0xFFFFFFFF << (32 - length) & 0xFFFFFFFF if length else 0
-            network = ip & mask
-            asn = self._by_length[length].get(network)
-            if asn is not None:
-                return self._moas.get((network, length), (asn,))
-        return ()
+        match = self.lookup(ip)
+        if match is None:
+            return ()
+        prefix, asn = match
+        return self._moas.get((prefix.network, prefix.length), (asn,))
 
     def is_moas(self, ip: IPv4) -> bool:
         return len(self.origins_of(ip)) > 1
@@ -91,7 +154,15 @@ class BGPSnapshot:
         return self.origin_of(ip) is not None
 
     def prefixes_of(self, asn: ASN) -> List[Prefix]:
-        return [a.prefix for a in self.announcements if a.origin_asn == asn]
+        return list(self._by_origin.get(asn, ()))
+
+    def naive_reference(self) -> NaiveLPMTable:
+        """A fresh naive-scan table over this snapshot's announcements.
+
+        The differential tests and the annotate microbench compare its
+        answers (and ``probe_count``) against the indexed path.
+        """
+        return NaiveLPMTable(self.announcements, self._moas)
 
     # ------------------------------------------------------------------
 

@@ -13,9 +13,9 @@ identical output either way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.net.ip import IPv4
+from repro.net.ip import IPv4, IPv4IntervalSet, dot1_targets, is_private_or_shared
 from repro.measure.checkpoint import CheckpointStore
 from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
@@ -76,16 +76,20 @@ class CloudMembership:
     """
 
     def __init__(self, world: World, cloud: str) -> None:
-        self._own_blocks = list(
-            world.cloud_announced_blocks.get(cloud, [])
-        ) + list(world.cloud_infra_blocks.get(cloud, []))
+        # Flattened to disjoint intervals once: membership is one bisect
+        # per hop instead of a scan over every announced/infra block.
+        self._own = IPv4IntervalSet(
+            list(world.cloud_announced_blocks.get(cloud, []))
+            + list(world.cloud_infra_blocks.get(cloud, []))
+        )
 
     def left_cloud(self, trace: Traceroute) -> bool:
+        own = self._own
+        dst = trace.dst
         for ip in trace.responsive_ips:
-            if ip == trace.dst:
+            if ip == dst:
                 continue
-            inside = any(ip in block for block in self._own_blocks)
-            if not inside and not _is_private_or_shared(ip):
+            if ip not in own and not is_private_or_shared(ip):
                 return True
         return False
 
@@ -170,10 +174,14 @@ class ProbeCampaign:
 
     # ------------------------------------------------------------------
 
-    def round1_targets(self) -> Iterator[IPv4]:
-        """The ``.1`` of every /24 in the sweep universe (§3)."""
-        for p24 in self.world.sweep_slash24s:
-            yield p24.network + 1
+    def round1_targets(self) -> List[IPv4]:
+        """The ``.1`` of every /24 in the sweep universe (§3).
+
+        Materialized in one batched pass (the executor needs the full
+        list anyway to plan shards) instead of a generator that converts
+        prefixes one call at a time.
+        """
+        return dot1_targets(self.world.sweep_slash24s)
 
     def run_round1(
         self,
@@ -210,18 +218,22 @@ class ProbeCampaign:
         """
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
-        targets: List[IPv4] = []
-        seen: Set[int] = set()
-        cbis = set(cbi_ips)
-        for cbi in sorted(cbis):
+        # Batched /24 conversion: one masking pass collects the distinct
+        # nets (keyed by the lowest CBI that claimed each, preserving
+        # the historical per-net exclusion), then a precomputed offset
+        # row is replayed per net instead of re-deriving it 254/stride
+        # times per /24.
+        claimed: Dict[int, int] = {}
+        for cbi in sorted(set(cbi_ips)):
             net = cbi & 0xFFFFFF00
-            if net in seen:
-                continue
-            seen.add(net)
-            for offset in range(1, 255, stride):
-                addr = net + offset
-                if addr != cbi:
-                    targets.append(addr)
+            if net not in claimed:
+                claimed[net] = cbi
+        offsets = tuple(range(1, 255, stride))
+        targets: List[IPv4] = []
+        for net, cbi in sorted(claimed.items()):
+            targets.extend(
+                addr for addr in (net + o for o in offsets) if addr != cbi
+            )
         return targets
 
     def run_expansion(
@@ -247,12 +259,6 @@ class ProbeCampaign:
             tracer=tracer,
             worker_spans=worker_spans,
         )
-
-
-def _is_private_or_shared(ip: IPv4) -> bool:
-    from repro.net.ip import is_private, is_shared
-
-    return is_private(ip) or is_shared(ip)
 
 
 def vpi_target_pool(

@@ -47,7 +47,9 @@ from __future__ import annotations
 import hashlib
 import math
 import multiprocessing
+import sys
 import time
+from array import array
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -542,8 +544,13 @@ class ShardedExecutor:
                 )
             ).encode()
         )
-        for dst in targets:
-            h.update(dst.to_bytes(4, "big"))
+        # One bulk conversion instead of a to_bytes() call per target;
+        # byteswap keeps the digest byte-identical (big-endian) on
+        # little-endian hosts, so existing checkpoint journals stay valid.
+        packed = array("I", targets)
+        if sys.byteorder == "little":
+            packed.byteswap()
+        h.update(packed.tobytes())
         return h.hexdigest()
 
     # ------------------------------------------------------------------

@@ -13,8 +13,9 @@ helpers here exist to make those operations explicit and cheap.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 IPv4 = int
 
@@ -161,6 +162,130 @@ def dot1_of_slash24(p24: Prefix) -> IPv4:
     return p24.network + 1
 
 
+def slash24_network(addr: IPv4) -> IPv4:
+    """The network *integer* of the /24 containing ``addr``.
+
+    The allocation-free fast path behind the target generators: where a
+    caller only needs the /24 key (not a :class:`Prefix` object), one
+    mask beats a dataclass construction with ``__post_init__`` checks.
+    """
+    return addr & 0xFFFFFF00
+
+
+def dot1_targets(slash24s: Iterable[Prefix]) -> List[IPv4]:
+    """The ``.1`` of every /24, converted in one batch (§3 sweep list).
+
+    Equivalent to ``[dot1_of_slash24(p) for p in slash24s]`` minus the
+    per-call length validation -- the round-1 generator hands this the
+    already-validated sweep universe, where at paper scale (15.6M /24s)
+    the per-prefix function-call overhead is the dominant cost.
+    """
+    return [p.network + 1 for p in slash24s]
+
+
+class IPv4IntervalSet:
+    """A union of prefixes flattened to sorted disjoint intervals.
+
+    Membership is one binary search over the merged interval starts
+    instead of a linear ``any(ip in block for block in blocks)`` scan,
+    which matters on per-hop paths (cloud-membership checks touch every
+    responsive hop of every traceroute).
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, prefixes: Iterable[Prefix]) -> None:
+        spans = sorted((p.network, p.last) for p in prefixes)
+        starts: List[int] = []
+        ends: List[int] = []
+        for start, end in spans:
+            if ends and start <= ends[-1] + 1:
+                if end > ends[-1]:
+                    ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+        self._starts = starts
+        self._ends = ends
+
+    def __contains__(self, addr: object) -> bool:
+        if not isinstance(addr, int):
+            return False
+        i = bisect_right(self._starts, addr) - 1
+        return i >= 0 and addr <= self._ends[i]
+
+    def __len__(self) -> int:
+        """Number of disjoint intervals after merging."""
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+
+_LPMValue = TypeVar("_LPMValue")
+
+
+class PrefixLPMIndex(Generic[_LPMValue]):
+    """Longest-prefix match over ``(prefix, value)`` pairs in one probe.
+
+    Built once at construction: because two prefixes either nest or are
+    disjoint, a single stack sweep over the prefixes (sorted by network,
+    then length) flattens the table into disjoint address segments, each
+    carrying the *deepest* covering prefix.  ``lookup`` is then a single
+    ``bisect`` over the segment starts -- versus up to 33 per-length
+    dict probes for the classic scan-by-descending-length table.
+
+    Duplicate prefixes keep the **last** value, matching the dict
+    insertion semantics of the table this index replaced.
+    """
+
+    __slots__ = ("_starts", "_leaves")
+
+    def __init__(self, entries: Iterable[Tuple[Prefix, _LPMValue]]) -> None:
+        deduped: dict = {}
+        for prefix, value in entries:
+            deduped[prefix] = value
+        items = sorted(
+            deduped.items(), key=lambda kv: (kv[0].network, kv[0].length)
+        )
+        starts: List[int] = []
+        leaves: List[Optional[Tuple[Prefix, _LPMValue]]] = []
+
+        def emit(start: int, leaf: Optional[Tuple[Prefix, _LPMValue]]) -> None:
+            if starts and starts[-1] == start:
+                leaves[-1] = leaf
+            else:
+                starts.append(start)
+                leaves.append(leaf)
+
+        stack: List[Tuple[Prefix, _LPMValue]] = []
+        for prefix, value in items:
+            while stack and stack[-1][0].last < prefix.network:
+                closed = stack.pop()
+                emit(closed[0].last + 1, stack[-1] if stack else None)
+            emit(prefix.network, (prefix, value))
+            stack.append((prefix, value))
+        while stack:
+            closed = stack.pop()
+            boundary = closed[0].last + 1
+            if boundary <= MAX_IPV4:
+                emit(boundary, stack[-1] if stack else None)
+        self._starts = starts
+        self._leaves = leaves
+
+    def lookup(self, addr: IPv4) -> Optional[Tuple[Prefix, _LPMValue]]:
+        """The longest matching ``(prefix, value)`` pair, or ``None``."""
+        i = bisect_right(self._starts, addr) - 1
+        if i < 0:
+            return None
+        return self._leaves[i]
+
+    @property
+    def segment_count(self) -> int:
+        """Disjoint address segments the table flattened into."""
+        return len(self._starts)
+
+
 # Special-purpose ranges.  The paper deliberately *keeps* private and shared
 # address space as probe targets because Amazon uses them internally (§3),
 # but annotation maps them to AS0.
@@ -175,14 +300,25 @@ MULTICAST_PREFIX = Prefix.parse("224.0.0.0/4")
 RESERVED_PREFIX = Prefix.parse("240.0.0.0/4")
 
 
+#: Interval-set fast paths for the membership tests below: one bisect
+#: instead of a per-prefix scan on paths hit once per observed hop.
+_PRIVATE_SET = IPv4IntervalSet(PRIVATE_PREFIXES)
+_PRIVATE_OR_SHARED_SET = IPv4IntervalSet(PRIVATE_PREFIXES + (SHARED_PREFIX,))
+
+
 def is_private(addr: IPv4) -> bool:
     """True for RFC1918 space."""
-    return any(addr in p for p in PRIVATE_PREFIXES)
+    return addr in _PRIVATE_SET
 
 
 def is_shared(addr: IPv4) -> bool:
     """True for RFC6598 shared (CGN) space."""
     return addr in SHARED_PREFIX
+
+
+def is_private_or_shared(addr: IPv4) -> bool:
+    """RFC1918 or RFC6598 in a single interval probe (annotation hot path)."""
+    return addr in _PRIVATE_OR_SHARED_SET
 
 
 def is_probe_excluded(addr: IPv4) -> bool:

@@ -33,6 +33,7 @@ __all__ = [
     "render_funnel",
     "render_self_time",
     "render_trace_summary",
+    "self_time_by_family",
     "self_time_table",
 ]
 
@@ -91,6 +92,19 @@ def self_time_table(
     ]
     rows.sort(key=lambda r: (-r.self_seconds, r.category, r.name))
     return rows[: max(1, top_n)]
+
+
+def self_time_by_family(records: Sequence[SpanRecord]) -> Dict[str, float]:
+    """Self time folded to ``"category/name"`` keys, for machine readers.
+
+    The bench harness records these (sorted keys, floats in seconds) in
+    its ``timings`` section; same aggregation as :func:`self_time_table`
+    but unranked and untruncated.
+    """
+    return {
+        f"{row.category}/{row.name}": row.self_seconds
+        for row in self_time_table(records, top_n=len(records) or 1)
+    }
 
 
 def render_self_time(records: Sequence[SpanRecord], top_n: int = 15) -> str:

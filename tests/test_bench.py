@@ -1,0 +1,316 @@
+"""The ``repro bench`` harness: schema, compare math, determinism, CLI.
+
+* the ``BENCH_*.json`` schema round-trips and rejects malformed input;
+* ``--compare`` delta math: counters and digests gate exactly,
+  efficiency gates through the relative threshold (improvements always
+  pass), timings never gate; incomparable reports exit 2;
+* scenarios are deterministic: identical ``(scenario, params)`` yield
+  identical counters, efficiency, and digest -- timings excluded -- and
+  the tiny-scale study scenario reproduces the golden-snapshot digest;
+* the annotate microbench's counters prove the acceptance criterion:
+  the indexed LPM path does >= 2x fewer probes per lookup than the
+  retained naive oracle for identical answers;
+* the CLI writes reports where asked and returns the contracted exit
+  codes (0 ok, 1 regression, 2 mismatch/usage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BenchMismatch,
+    BenchParams,
+    BenchReport,
+    SCENARIOS,
+    bench_path,
+    compare_reports,
+    has_regression,
+    read_report,
+    run_scenario,
+    write_report,
+)
+from repro.bench.cli import main as bench_main
+
+TINY = BenchParams(scale=0.01, seed=11)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_study.json"
+
+
+@pytest.fixture(scope="module")
+def annotate_report():
+    return run_scenario("annotate", TINY)
+
+
+@pytest.fixture(scope="module")
+def study_report():
+    return run_scenario("study", TINY)
+
+
+def _report(**overrides):
+    base = dict(
+        scenario="study",
+        params={"scale": 0.01, "seed": 11},
+        digest="abc123",
+        counters={"probes": 100, "lookups": 40},
+        efficiency={"probes_per_lookup": 2.5},
+        timings={"total_seconds": 1.5},
+    )
+    base.update(overrides)
+    return BenchReport(**base)
+
+
+# ----------------------------------------------------------------------
+# schema round-trip and validation
+# ----------------------------------------------------------------------
+
+
+def test_report_roundtrips_through_json(annotate_report):
+    assert BenchReport.from_json(annotate_report.to_json()) == annotate_report
+
+
+def test_report_serialization_is_canonical():
+    report = _report()
+    text = report.to_json()
+    assert text == BenchReport.from_json(text).to_json()
+    assert text.endswith("\n")
+    # sorted keys: a parse-reserialize of shuffled input is identical
+    shuffled = json.dumps(json.loads(text), sort_keys=False)
+    assert BenchReport.from_json(shuffled).to_json() == text
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.update(schema="repro-bench-v0"), "unsupported bench schema"),
+        (lambda d: d.pop("counters"), "missing key"),
+        (lambda d: d.update(counters={"x": 1.5}), "must be integers"),
+        (lambda d: d.update(counters={"x": True}), "must be integers"),
+        (lambda d: d.update(efficiency={"x": "fast"}), "must be numbers"),
+        (lambda d: d.update(scenario=""), "non-empty"),
+        (lambda d: d.update(timings=[1.0]), "must be an object"),
+    ],
+)
+def test_from_json_rejects_malformed_reports(mutate, message):
+    data = json.loads(_report().to_json())
+    mutate(data)
+    with pytest.raises(ValueError, match=message):
+        BenchReport.from_json(json.dumps(data))
+
+
+def test_from_json_rejects_non_json_and_non_object():
+    with pytest.raises(ValueError, match="not valid JSON"):
+        BenchReport.from_json("{nope")
+    with pytest.raises(ValueError, match="must be a JSON object"):
+        BenchReport.from_json("[1, 2]")
+
+
+def test_bench_path_and_file_roundtrip(tmp_path):
+    report = _report()
+    assert bench_path("study", tmp_path) == tmp_path / "BENCH_study.json"
+    path = write_report(report, tmp_path)
+    assert path == tmp_path / "BENCH_study.json"
+    assert read_report(path) == report
+
+
+# ----------------------------------------------------------------------
+# compare: delta math and gating
+# ----------------------------------------------------------------------
+
+
+def test_identical_reports_have_no_regression():
+    deltas = compare_reports(_report(), _report())
+    assert not has_regression(deltas)
+    assert {d.section for d in deltas} == {
+        "digest", "counter", "efficiency", "timing",
+    }
+
+
+def test_counter_drift_regresses():
+    new = _report(counters={"probes": 101, "lookups": 40})
+    deltas = compare_reports(_report(), new)
+    regressed = [d for d in deltas if d.regressed]
+    assert [(d.section, d.key) for d in regressed] == [("counter", "probes")]
+
+
+def test_counter_key_drift_regresses():
+    new = _report(counters={"probes": 100})
+    assert has_regression(compare_reports(_report(), new))
+
+
+def test_digest_drift_regresses():
+    deltas = compare_reports(_report(), _report(digest="def456"))
+    assert [d.key for d in deltas if d.regressed] == ["digest"]
+
+
+def test_efficiency_gates_through_threshold():
+    old = _report()
+    # within 5% headroom: passes
+    within = _report(efficiency={"probes_per_lookup": 2.5 * 1.04})
+    assert not has_regression(compare_reports(old, within))
+    # beyond: regresses
+    beyond = _report(efficiency={"probes_per_lookup": 2.5 * 1.06})
+    assert has_regression(compare_reports(old, beyond))
+    # a tighter threshold flips the verdict
+    assert has_regression(compare_reports(old, within, threshold=0.01))
+    # improvements always pass
+    better = _report(efficiency={"probes_per_lookup": 1.0})
+    assert not has_regression(compare_reports(old, better))
+
+
+def test_timing_drift_never_regresses():
+    slower = _report(timings={"total_seconds": 1000.0})
+    deltas = compare_reports(_report(), slower)
+    assert not has_regression(deltas)
+
+
+@pytest.mark.parametrize(
+    "other, message",
+    [
+        (_report(scenario="annotate"), "scenario mismatch"),
+        (_report(params={"scale": 0.02, "seed": 11}), "params mismatch"),
+        (
+            dataclasses.replace(_report(), schema="repro-bench-v2"),
+            "schema mismatch",
+        ),
+    ],
+)
+def test_incomparable_reports_raise(other, message):
+    with pytest.raises(BenchMismatch, match=message):
+        compare_reports(_report(), other)
+
+
+# ----------------------------------------------------------------------
+# scenario determinism (timings excluded by construction)
+# ----------------------------------------------------------------------
+
+
+def _determinism_key(report):
+    return (report.scenario, report.params, report.digest,
+            report.counters, report.efficiency)
+
+
+def test_annotate_scenario_is_deterministic(annotate_report):
+    again = run_scenario("annotate", TINY)
+    assert _determinism_key(again) == _determinism_key(annotate_report)
+
+
+def test_study_scenario_is_deterministic(study_report):
+    again = run_scenario("study", TINY)
+    assert _determinism_key(again) == _determinism_key(study_report)
+
+
+def test_study_scenario_reproduces_golden_digest(study_report):
+    """The bench study workload IS the golden-snapshot workload."""
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    assert (TINY.scale, TINY.seed) == (
+        golden["world"]["scale"], golden["world"]["seed"],
+    )
+    assert study_report.digest == golden["digest"]
+    assert study_report.counters["round1_probes"] == (
+        golden["summary"]["round1_probes"]
+    )
+    assert study_report.counters["round2_probes"] == (
+        golden["summary"]["round2_probes"]
+    )
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown bench scenario"):
+        run_scenario("nope")
+
+
+# ----------------------------------------------------------------------
+# the acceptance criterion: the index does >= 2x less probing work
+# ----------------------------------------------------------------------
+
+
+def test_annotate_microbench_halves_probe_work(annotate_report):
+    counters = annotate_report.counters
+    assert counters["lpm_lookups"] == counters["addresses"] > 0
+    assert counters["lpm_probes_indexed"] == counters["lpm_lookups"]
+    assert counters["lpm_probes_naive"] >= 2 * counters["lpm_probes_indexed"]
+    eff = annotate_report.efficiency
+    assert eff["probes_per_lookup_indexed"] == 1.0
+    assert eff["lpm_probe_ratio"] <= 0.5
+    # the warm pass was pure cache hits
+    assert counters["annotation_cache_hits"] == counters["addresses"]
+    assert counters["annotation_cache_misses"] == counters["addresses"]
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+def test_cli_writes_report_files(tmp_path):
+    rc = bench_main([
+        "annotate", "--scale", "0.01", "--seed", "11",
+        "--out-dir", str(tmp_path),
+    ])
+    assert rc == 0
+    report = read_report(tmp_path / "BENCH_annotate.json")
+    assert report.scenario == "annotate"
+    assert report.params["scale"] == 0.01
+
+
+def test_cli_list_and_dispatch(capsys):
+    assert bench_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIOS:
+        assert name in out
+    # the main repro CLI dispatches the subcommand
+    from repro.cli import main as repro_main
+
+    assert repro_main(["bench", "--list"]) == 0
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    old = _report()
+    write_report(old, tmp_path)
+    path_old = tmp_path / "BENCH_study.json"
+
+    # identical -> 0
+    assert bench_main(["--compare", str(path_old), str(path_old)]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+    # counter regression -> 1
+    worse_dir = tmp_path / "worse"
+    worse_dir.mkdir()
+    write_report(
+        _report(counters={"probes": 150, "lookups": 40}), worse_dir
+    )
+    rc = bench_main(
+        ["--compare", str(path_old), str(worse_dir / "BENCH_study.json")]
+    )
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
+
+    # incomparable (different scenario) -> 2
+    write_report(_report(scenario="annotate"), tmp_path)
+    rc = bench_main(
+        ["--compare", str(path_old), str(tmp_path / "BENCH_annotate.json")]
+    )
+    assert rc == 2
+
+    # unreadable file -> 2
+    assert bench_main(
+        ["--compare", str(path_old), str(tmp_path / "missing.json")]
+    ) == 2
+
+
+def test_cli_rejects_unknown_scenario():
+    with pytest.raises(SystemExit) as exc:
+        bench_main(["warp-speed"])
+    assert exc.value.code == 2
+
+
+def test_cli_all_excludes_explicit_names():
+    with pytest.raises(SystemExit) as exc:
+        bench_main(["--all", "study"])
+    assert exc.value.code == 2

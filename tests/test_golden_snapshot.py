@@ -159,6 +159,57 @@ def test_quarantined_then_resumed_run_matches_golden(
     assert resumed.round1_stats.lost_probes == 0
 
 
+# --- annotation-cache sharing ------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_private_annotation_caches_match_golden(golden, golden_world, workers):
+    """Turning the shared cache *off* must change nothing but allocations."""
+    result = AmazonPeeringStudy(
+        golden_world,
+        _config(golden, workers=workers, shared_annotation_cache=False),
+    ).run()
+    assert result.digest() == golden["digest"]
+
+
+@pytest.mark.parametrize("shared_cache", [True, False])
+def test_traced_run_matches_golden_with_either_cache_mode(
+    golden, golden_world, shared_cache
+):
+    """Fine-grained tracing composes with both cache modes, digest-neutrally."""
+    result = AmazonPeeringStudy(
+        golden_world,
+        _config(
+            golden,
+            workers=2,
+            trace=True,
+            shared_annotation_cache=shared_cache,
+        ),
+    ).run()
+    assert result.digest() == golden["digest"]
+    assert result.metrics.tracer.records, "tracing recorded no spans"
+
+
+def test_shared_cache_actually_shares(golden, golden_world):
+    """The r2 and VPI annotators hold one cache object; r1 never does
+    (it reads a different BGP snapshot, so sharing would be unsound)."""
+    study = AmazonPeeringStudy(golden_world, _config(golden))
+    r2_cache = study.annotator_r2._cache
+    for annotator in study.cloud_annotators.values():
+        assert annotator._cache is r2_cache
+    assert study.annotator_r1._cache is not r2_cache
+
+    private = AmazonPeeringStudy(
+        golden_world, _config(golden, shared_annotation_cache=False)
+    )
+    caches = {
+        id(a._cache)
+        for a in (private.annotator_r1, private.annotator_r2,
+                  *private.cloud_annotators.values())
+    }
+    assert len(caches) == 2 + len(private.cloud_annotators)
+
+
 # --- dirty datasets ----------------------------------------------------
 
 

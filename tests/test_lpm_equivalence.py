@@ -1,0 +1,257 @@
+"""Differential tests: the LPM index against the retained naive oracle.
+
+``BGPSnapshot`` answers longest-prefix matches from a flattened
+sorted-interval index (one bisect per lookup); ``NaiveLPMTable`` is the
+pre-index per-length dict scan, kept precisely so these tests can assert
+the two are *extensionally equal* -- same ``lookup``, ``origin_of``, and
+``origins_of`` answers on every address -- over adversarial tables:
+deeply nested prefixes, MOAS conflicts, duplicate announcements
+(last-write-wins), /8 and /32 extremes, and thousands of random IPs
+aimed at prefix boundaries.
+
+A separate group locks the ``prefixes_of`` index: answers equal the
+linear scan, and a call-count spy proves the full announcement list is
+no longer consulted per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.bgp import Announcement, BGPSnapshot, NaiveLPMTable
+from repro.net.ip import MAX_IPV4, Prefix, PrefixLPMIndex
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+lengths_st = st.integers(min_value=8, max_value=32)
+asn_st = st.integers(min_value=1, max_value=99999)
+
+
+@st.composite
+def prefix_st(draw):
+    length = draw(lengths_st)
+    base = draw(st.integers(min_value=0, max_value=MAX_IPV4))
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    return Prefix(base & mask, length)
+
+
+@st.composite
+def table_st(draw):
+    """A list of announcements biased toward nesting and duplicates."""
+    prefixes = draw(st.lists(prefix_st(), min_size=1, max_size=40))
+    announcements = []
+    for i, prefix in enumerate(prefixes):
+        announcements.append(Announcement(prefix, draw(asn_st)))
+        # Nest a more-specific under every third prefix so covering
+        # chains (the hard case for interval flattening) always occur.
+        if i % 3 == 0 and prefix.length < 32:
+            deeper = draw(
+                st.integers(min_value=prefix.length + 1, max_value=32)
+            )
+            mask = (0xFFFFFFFF << (32 - deeper)) & 0xFFFFFFFF
+            child = Prefix(prefix.network & mask, deeper)
+            announcements.append(Announcement(child, draw(asn_st)))
+        # Re-announce every fifth prefix: duplicates must keep the
+        # *last* origin on both implementations.
+        if i % 5 == 0:
+            announcements.append(Announcement(prefix, draw(asn_st)))
+    return announcements
+
+
+def probe_ips(announcements, rng_ints):
+    """Boundary-seeking probe set: edges of every prefix ± 1, plus noise."""
+    ips = set(rng_ints)
+    for ann in announcements:
+        for edge in (ann.prefix.network, ann.prefix.last):
+            for delta in (-1, 0, 1):
+                ips.add(max(0, min(MAX_IPV4, edge + delta)))
+    return sorted(ips)
+
+
+def build_pair(announcements):
+    snapshot = BGPSnapshot(announcements, as_links=())
+    return snapshot, snapshot.naive_reference()
+
+
+# ----------------------------------------------------------------------
+# differential equivalence
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    announcements=table_st(),
+    noise=st.lists(
+        st.integers(min_value=0, max_value=MAX_IPV4), max_size=50
+    ),
+)
+def test_lookup_equivalent_to_naive_oracle(announcements, noise):
+    snapshot, naive = build_pair(announcements)
+    for ip in probe_ips(announcements, noise):
+        assert snapshot.lookup(ip) == naive.lookup(ip), hex(ip)
+        assert snapshot.origin_of(ip) == naive.origin_of(ip), hex(ip)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    announcements=table_st(),
+    origins=st.lists(asn_st, min_size=2, max_size=4),
+    noise=st.lists(
+        st.integers(min_value=0, max_value=MAX_IPV4), max_size=30
+    ),
+)
+def test_origins_of_equivalent_under_moas(announcements, origins, noise):
+    # Mark every fourth announced prefix as a MOAS conflict.
+    moas = {
+        ann.prefix: tuple(origins)
+        for i, ann in enumerate(announcements)
+        if i % 4 == 0
+    }
+    snapshot = BGPSnapshot(announcements, as_links=(), moas=moas)
+    naive = snapshot.naive_reference()
+    for ip in probe_ips(announcements, noise):
+        assert snapshot.origins_of(ip) == naive.origins_of(ip), hex(ip)
+        assert snapshot.is_moas(ip) == (len(naive.origins_of(ip)) > 1)
+
+
+def test_duplicate_prefix_keeps_last_origin():
+    prefix = Prefix(0x0A000000, 8)
+    announcements = [
+        Announcement(prefix, 100),
+        Announcement(prefix, 200),
+        Announcement(prefix, 300),
+    ]
+    snapshot, naive = build_pair(announcements)
+    ip = 0x0A123456
+    assert snapshot.lookup(ip) == (prefix, 300)
+    assert naive.lookup(ip) == (prefix, 300)
+
+
+def test_slash8_and_slash32_extremes():
+    wide = Prefix(0x0A000000, 8)
+    host = Prefix(0x0A0000FF, 32)
+    snapshot, naive = build_pair(
+        [Announcement(wide, 1), Announcement(host, 2)]
+    )
+    for ip, expected in (
+        (0x0A0000FF, (host, 2)),      # the /32 wins inside the /8
+        (0x0A0000FE, (wide, 1)),      # one below the host route
+        (0x0A000100, (wide, 1)),      # one above
+        (0x0AFFFFFF, (wide, 1)),      # last address of the /8
+        (0x0B000000, None),           # first address after it
+        (0x09FFFFFF, None),           # last address before it
+        (0x00000000, None),
+        (MAX_IPV4, None),
+    ):
+        assert snapshot.lookup(ip) == expected, hex(ip)
+        assert naive.lookup(ip) == expected, hex(ip)
+
+
+def test_deep_nesting_chain():
+    """A full /8 → /30 covering chain: deepest prefix always wins."""
+    announcements = [
+        Announcement(Prefix(0xC0000000 & ((0xFFFFFFFF << (32 - n)) & 0xFFFFFFFF), n), n)
+        for n in range(8, 31)
+    ]
+    snapshot, naive = build_pair(announcements)
+    for ip in range(0xC0000000, 0xC0000000 + 4):
+        assert snapshot.lookup(ip) == naive.lookup(ip) == (Prefix(0xC0000000, 30), 30)
+    # Walking out of the chain peels one nesting level at a time.
+    for ip in (0xC0000004, 0xC0000010, 0xC0001000, 0xC0800000, 0xDFFFFFFF):
+        assert snapshot.lookup(ip) == naive.lookup(ip), hex(ip)
+
+
+def test_empty_table():
+    snapshot, naive = build_pair([])
+    for ip in (0, 1, 0x7F000001, MAX_IPV4):
+        assert snapshot.lookup(ip) is None
+        assert naive.lookup(ip) is None
+        assert snapshot.origins_of(ip) == () == naive.origins_of(ip)
+
+
+def test_indexed_lookup_costs_one_probe():
+    """The acceptance criterion's counters: 1 probe/lookup vs up to 33."""
+    announcements = [
+        Announcement(Prefix(0x0A000000, 8), 1),
+        Announcement(Prefix(0x0A000000, 24), 2),
+        Announcement(Prefix(0x0A000080, 25), 3),
+    ]
+    snapshot, naive = build_pair(announcements)
+    ips = [0x0A0000FF, 0x0A000001, 0x0B000000, 0x0A0100FF]
+    for ip in ips:
+        assert snapshot.lookup(ip) == naive.lookup(ip)
+    assert snapshot.lookup_count == naive.lookup_count == len(ips)
+    assert snapshot.probe_count == len(ips)
+    assert naive.probe_count >= 2 * snapshot.probe_count
+
+
+# ----------------------------------------------------------------------
+# PrefixLPMIndex unit surface
+# ----------------------------------------------------------------------
+
+
+def test_index_segment_count_is_bounded():
+    """Flattening n prefixes yields at most 2n+1 disjoint segments."""
+    announcements = [
+        Announcement(Prefix((i << 24) & 0xFF000000, 8), i + 1)
+        for i in range(0, 200, 2)
+    ]
+    index = PrefixLPMIndex(
+        (ann.prefix, ann.origin_asn) for ann in announcements
+    )
+    assert 0 < index.segment_count <= 2 * len(announcements) + 1
+
+
+# ----------------------------------------------------------------------
+# prefixes_of: indexed by origin ASN, no per-query announcement scan
+# ----------------------------------------------------------------------
+
+
+def test_prefixes_of_matches_linear_scan():
+    announcements = [
+        Announcement(Prefix(0x0A000000, 8), 100),
+        Announcement(Prefix(0x14000000, 8), 200),
+        Announcement(Prefix(0x0A010000, 16), 100),
+        Announcement(Prefix(0x1E000000, 8), 300),
+        Announcement(Prefix(0x0A020000, 16), 100),
+    ]
+    snapshot = BGPSnapshot(announcements, as_links=())
+    for asn in (100, 200, 300, 999):
+        expected = [
+            ann.prefix for ann in announcements if ann.origin_asn == asn
+        ]
+        assert snapshot.prefixes_of(asn) == expected
+
+
+def test_prefixes_of_does_not_scan_announcements():
+    """Call-count spy: queries never iterate the announcement list."""
+
+    class SpyList(list):
+        def __init__(self, items):
+            super().__init__(items)
+            self.iterations = 0
+
+        def __iter__(self):
+            self.iterations += 1
+            return super().__iter__()
+
+    announcements = [
+        Announcement(Prefix((i << 16) & 0xFFFF0000, 16), i % 7)
+        for i in range(1, 300)
+    ]
+    snapshot = BGPSnapshot(announcements, as_links=())
+    spy = SpyList(snapshot.announcements)
+    snapshot.announcements = spy
+    for asn in range(0, 7):
+        assert snapshot.prefixes_of(asn)
+    for asn in (1000, 2000):
+        assert snapshot.prefixes_of(asn) == []
+    assert spy.iterations == 0, (
+        "prefixes_of iterated the announcement list "
+        f"{spy.iterations} time(s); it must use the origin index"
+    )
