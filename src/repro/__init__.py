@@ -34,15 +34,28 @@ Quickstart::
     print(render_report(result))
 """
 
-from repro.analysis.report import render_report, render_sensitivity
+from repro.analysis.report import render_report, render_salvage, render_sensitivity
 from repro.core.config import StudyConfig
 from repro.core.pipeline import AmazonPeeringStudy
 from repro.core.results import DataQualityReport, StudyResult
+from repro.core.stages import StageStore
 from repro.datasets.datafaults import DataFaultPlan
 from repro.datasets.validate import validate_datasets
+from repro.errors import (
+    EXIT_INTERRUPTED,
+    DataError,
+    DeadlineExceeded,
+    HungShardError,
+    ReproError,
+    ShardTimeoutError,
+    StageError,
+    StudyInterrupted,
+    TransportError,
+)
 from repro.measure.checkpoint import CheckpointStore
 from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
+from repro.measure.supervise import StudySupervisor
 from repro.measure.sink import EventSink, FanoutEvents, as_event_sink
 from repro.obs import (
     NULL_TRACER,
@@ -55,28 +68,40 @@ from repro.obs import (
 from repro.world.build import WorldConfig, build_world
 from repro.world.model import World
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AmazonPeeringStudy",
     "CheckpointStore",
+    "DataError",
     "DataFaultPlan",
     "DataQualityReport",
+    "DeadlineExceeded",
+    "EXIT_INTERRUPTED",
     "EventSink",
     "FanoutEvents",
     "FaultPlan",
+    "HungShardError",
     "NULL_TRACER",
+    "ReproError",
     "RetryPolicy",
+    "ShardTimeoutError",
     "SpanRecord",
+    "StageError",
+    "StageStore",
     "StudyConfig",
+    "StudyInterrupted",
     "StudyResult",
+    "StudySupervisor",
     "Tracer",
+    "TransportError",
     "World",
     "WorldConfig",
     "as_event_sink",
     "build_world",
     "read_trace",
     "render_report",
+    "render_salvage",
     "render_sensitivity",
     "render_trace_summary",
     "validate_datasets",

@@ -43,6 +43,15 @@ def _render_resilience(result: StudyResult, add) -> None:
             f"{len(progress.quarantined)} quarantined shard(s), "
             f"{progress.resumed_shards} resumed from checkpoint"
         )
+        categories = progress.failure_categories()
+        if categories:
+            add(
+                "    failures by class: "
+                + ", ".join(
+                    f"{category}={count}"
+                    for category, count in sorted(categories.items())
+                )
+            )
         for shard in progress.quarantined:
             add(
                 f"    quarantined shard {shard.index} ({shard.region}, "
@@ -169,6 +178,80 @@ def render_sensitivity(clean: StudyResult, dirty: StudyResult) -> str:
     same = clean.digest() == dirty.digest()
     add(f"  digest: {'identical (plan injected nothing)' if same else 'diverged, as expected'}")
     return "\n".join(lines)
+
+
+def render_salvage(result: StudyResult, recovered: List[str]) -> str:
+    """Partial report for ``repro study --salvage``.
+
+    The full report assumes every stage ran; after a crash only a prefix
+    of the stage graph is recoverable, so this renders exactly what each
+    recovered stage contributed and says plainly what is missing.
+    """
+    lines: List[str] = []
+    add = lines.append
+    add("salvaged study (stage checkpoints only; nothing was re-probed)")
+    if not recovered:
+        add("  no recoverable stages: the checkpoint directory holds no "
+            "stage records matching this configuration")
+        return "\n".join(lines)
+    add(f"  recovered stages: {', '.join(recovered)}")
+    done = set(recovered)
+    if "round1" in done and result.round1_stats is not None:
+        stats = result.round1_stats
+        add(f"  round 1: {stats.probes} probes, "
+            f"{stats.completed_fraction * 100:.1f}% complete, "
+            f"{result.peer_ases_round1} peer ASes")
+    if "round2" in done and result.round2_stats is not None:
+        stats = result.round2_stats
+        add(f"  round 2: {stats.probes} probes, "
+            f"{stats.completed_fraction * 100:.1f}% complete, "
+            f"{result.peer_ases_round2} peer ASes")
+    for row in result.table1:
+        add(f"  census {row.label}: {row.total} interfaces "
+            f"(BGP {row.bgp_fraction * 100:.1f}%, "
+            f"WHOIS {row.whois_fraction * 100:.1f}%, "
+            f"IXP {row.ixp_fraction * 100:.1f}%)")
+    if "alias" in done:
+        add(f"  verified borders: {len(result.abis)} ABIs, "
+            f"{len(result.cbis)} CBIs, "
+            f"{len(result.final_segments)} segments, "
+            f"{len(result.alias_sets)} alias sets")
+    if "pinning" in done and result.pinning is not None:
+        add(f"  pinning: {len(result.pinning.pinned)} metro-pinned, "
+            f"coverage {result.metro_pin_coverage * 100:.1f}% "
+            f"(with fallback {result.total_pin_coverage * 100:.1f}%)")
+    if "crossval" in done and result.crossval is not None:
+        add(f"  cross-validation: mean precision "
+            f"{result.crossval.mean_precision * 100:.1f}%, recall "
+            f"{result.crossval.mean_recall * 100:.1f}% over "
+            f"{len(result.crossval.folds)} folds")
+    if "vpi" in done and result.vpi is not None:
+        add(f"  VPI: {len(result.vpi.vpi_cbis)} multi-cloud CBIs out of "
+            f"{result.vpi.amazon_cbis} (pool {result.vpi.pool_size})")
+    if "grouping" in done and result.grouping is not None:
+        add(f"  grouping: {len(result.grouping.records)} peerings, "
+            f"hidden fraction "
+            f"{result.grouping.hidden_fraction() * 100:.1f}%")
+    if "icg" in done and result.icg is not None:
+        add(f"  ICG: {result.icg.node_count} nodes, "
+            f"{result.icg.edge_count} edges")
+    missing = [s for s in _salvage_order(result) if s not in done]
+    if missing:
+        add(f"  missing stages (resume to compute): {', '.join(missing)}")
+    return "\n".join(lines)
+
+
+def _salvage_order(result: StudyResult) -> List[str]:
+    """The stage names this result's configuration would have run."""
+    from repro.core.stages import STAGE_ORDER
+
+    config = result.config
+    skip = set()
+    if config is not None and not config.run_crossval:
+        skip.add("crossval")
+    if config is not None and not config.run_vpi:
+        skip.add("vpi")
+    return [s for s in STAGE_ORDER if s not in skip]
 
 
 def render_report(

@@ -17,12 +17,15 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.analysis.report import render_report, render_sensitivity
+from repro.analysis.report import render_report, render_salvage, render_sensitivity
 from repro.core.config import StudyConfig
 from repro.core.evaluation import evaluate_study
 from repro.core.pipeline import AmazonPeeringStudy
+from repro.core.stages import STAGE_ORDER
 from repro.datasets.datafaults import DataFaultPlan
+from repro.errors import EXIT_INTERRUPTED, StudyInterrupted
 from repro.measure.faults import FaultPlan
+from repro.measure.supervise import StudySupervisor
 from repro.measure.metrics import CampaignProgress, ShardTiming
 from repro.measure.sink import EventSink
 from repro.obs.span import SpanRecord
@@ -64,7 +67,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="journal completed shards here so a killed run "
                              "can restart without re-probing them")
     parser.add_argument("--resume", action="store_true",
-                        help="replay finished shards from --checkpoint-dir")
+                        help="replay finished shards and completed stages "
+                             "from --checkpoint-dir")
+    parser.add_argument("--salvage", action="store_true",
+                        help="do not probe at all: rebuild a partial report "
+                             "from the stage checkpoints in --checkpoint-dir")
+    parser.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="wall-clock budget for the study; exceeding it "
+                             "stops at the next stage/shard boundary with a "
+                             f"resumable exit (code {EXIT_INTERRUPTED})")
+    parser.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                        help="study-wide cap on shard retries across all "
+                             "campaigns (per-shard --max-retries still applies)")
+    parser.add_argument("--hung-shard-after", type=float, default=None,
+                        metavar="S",
+                        help="declare a pooled shard hung after S seconds of "
+                             "silence and retry it inline (supervision "
+                             "horizon, distinct from --shard-timeout)")
+    parser.add_argument("--abort-after-stage", type=str, default=None,
+                        metavar="STAGE", choices=sorted(STAGE_ORDER),
+                        help="chaos hook: request a graceful interrupt right "
+                             "after STAGE completes (for resume testing)")
+    parser.add_argument("--kill-after-stage", type=str, default=None,
+                        metavar="STAGE", choices=sorted(STAGE_ORDER),
+                        help="chaos hook: SIGKILL this process right after "
+                             "STAGE completes (for crash-resume testing)")
     parser.add_argument("--data-fault-plan", type=str, default=None,
                         metavar="SPEC",
                         help="degrade the dataset views deterministically, e.g. "
@@ -126,6 +153,9 @@ def _config_defaults(config: StudyConfig) -> Dict[str, Any]:
         "max_retries": config.max_retries,
         "checkpoint_dir": config.checkpoint_dir,
         "resume": config.resume,
+        "deadline": config.deadline_s,
+        "retry_budget": config.retry_budget,
+        "hung_shard_after": config.hung_shard_after_s,
         "data_fault_plan": (
             config.data_fault_plan.to_spec() if config.data_fault_plan else None
         ),
@@ -227,6 +257,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "study":
+        # `repro study ...` is the explicit spelling of the default
+        # subcommand (the resume/salvage docs use it throughout).
+        argv = argv[1:]
     parser = build_parser()
     # First pass: find --config so the file's values become the parser
     # defaults; any flag the user actually types then overrides the file.
@@ -241,6 +275,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"--config: {exc}")
         parser.set_defaults(**_config_defaults(file_config))
     args = parser.parse_args(argv)
+    # Spell these two out before StudyConfig validation gets a chance:
+    # the operator fixing a dead run at 3am deserves the exact flag name.
+    if args.resume and not args.checkpoint_dir:
+        parser.error(
+            "--resume replays journals and stage checkpoints from a "
+            "checkpoint directory; pass --checkpoint-dir DIR (the same "
+            "one the interrupted run used)"
+        )
+    if args.salvage and not args.checkpoint_dir:
+        parser.error(
+            "--salvage rebuilds a partial report from stage checkpoints; "
+            "pass --checkpoint-dir DIR (the same one the interrupted "
+            "run used)"
+        )
     try:
         fault_plan = (
             FaultPlan.parse(args.fault_plan) if args.fault_plan else None
@@ -264,7 +312,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             shard_timeout=args.shard_timeout,
             max_retries=args.max_retries,
             checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
+            resume=args.resume or args.salvage,
+            deadline_s=args.deadline,
+            retry_budget=args.retry_budget,
+            hung_shard_after_s=args.hung_shard_after,
             data_fault_plan=data_fault_plan,
             min_confidence=args.min_confidence,
             shared_annotation_cache=not args.no_shared_annotation_cache,
@@ -289,13 +340,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         file=sys.stderr,
     )
 
+    supervisor = StudySupervisor(
+        deadline_s=config.deadline_s,
+        retry_budget=config.retry_budget,
+        hung_shard_after_s=config.hung_shard_after_s,
+        handle_signals=True,
+        abort_after_stage=args.abort_after_stage,
+        kill_after_stage=args.kill_after_stage,
+    )
     study = AmazonPeeringStudy(
         world,
         config,
         events=_ProgressPrinter() if args.progress else None,
+        supervisor=supervisor,
     )
+    if args.salvage:
+        print("salvaging from stage checkpoints (no probing)...",
+              file=sys.stderr)
+        result, recovered = study.salvage()
+        print(render_salvage(result, recovered))
+        if args.digest:
+            print(f"study digest: {result.digest()}")
+        return 0
     print("running the measurement study...", file=sys.stderr)
-    result = study.run()
+    try:
+        result = study.run()
+    except StudyInterrupted as exc:
+        done = len(supervisor.stages_completed)
+        print(f"study interrupted ({exc}); {done} stage(s) checkpointed",
+              file=sys.stderr)
+        if config.checkpoint_dir:
+            print(
+                f"resume with: repro study --resume "
+                f"--checkpoint-dir {config.checkpoint_dir} "
+                f"(or --salvage for a partial report)",
+                file=sys.stderr,
+            )
+        else:
+            print("(no --checkpoint-dir: nothing was persisted; a rerun "
+                  "starts from scratch)", file=sys.stderr)
+        return EXIT_INTERRUPTED
     print(render_report(result, study.relationships))
     if args.trace_out:
         print(f"trace written to {args.trace_out}", file=sys.stderr)

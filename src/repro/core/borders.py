@@ -258,3 +258,33 @@ class BorderObservatory:
             if rtt is not None and (best is None or rtt < best):
                 best = rtt
         return best
+
+    # ------------------------------------------------------------------
+    # stage-checkpoint support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Everything a stage checkpoint must capture to rebuild ingest
+        state -- the annotator and confidence floor are reconstructed from
+        config, not serialized."""
+        return {
+            "segments": self.segments,
+            "low_confidence_segments": self.low_confidence_segments,
+            "successors": self.successors,
+            "iface_regions": self.iface_regions,
+            "iface_min_rtt": self.iface_min_rtt,
+            "iface_round": self.iface_round,
+            "stats": self.stats,
+            "current_round": self.current_round,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output (a resumed study's observatory)."""
+        self.segments = state["segments"]  # type: ignore[assignment]
+        self.low_confidence_segments = state["low_confidence_segments"]  # type: ignore[assignment]
+        self.successors = state["successors"]  # type: ignore[assignment]
+        self.iface_regions = state["iface_regions"]  # type: ignore[assignment]
+        self.iface_min_rtt = state["iface_min_rtt"]  # type: ignore[assignment]
+        self.iface_round = state["iface_round"]  # type: ignore[assignment]
+        self.stats = state["stats"]  # type: ignore[assignment]
+        self.current_round = state["current_round"]  # type: ignore[assignment]

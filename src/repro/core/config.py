@@ -64,6 +64,18 @@ class StudyConfig:
     #: re-probing them (requires ``checkpoint_dir``).
     resume: bool = False
 
+    # --- supervision ----------------------------------------------------
+    #: wall-clock budget for the whole study; exceeding it raises a
+    #: *resumable* interrupt (DeadlineExceeded), never a failure.
+    deadline_s: Optional[float] = None
+    #: study-wide cap on shard retries across all campaigns (None =
+    #: unbounded; the per-shard ``max_retries`` always applies too).
+    retry_budget: Optional[int] = None
+    #: seconds of silence after which a pooled shard is declared hung and
+    #: retried inline -- a supervision horizon, distinct from the
+    #: per-attempt ``shard_timeout`` retry knob.
+    hung_shard_after_s: Optional[float] = None
+
     # --- data quality ---------------------------------------------------
     #: deterministic dataset-degradation schedule (dirty BGP/WHOIS/
     #: as2org/IXP views); None = pristine datasets.
@@ -114,6 +126,16 @@ class StudyConfig:
             )
         if self.resume and not self.checkpoint_dir:
             raise ValueError("resume=True requires checkpoint_dir")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.hung_shard_after_s is not None and self.hung_shard_after_s <= 0:
+            raise ValueError(
+                f"hung_shard_after_s must be > 0, got {self.hung_shard_after_s}"
+            )
         if not 0.0 <= self.min_confidence <= 1.0:
             raise ValueError(
                 f"min_confidence must be in [0, 1], got {self.min_confidence}"

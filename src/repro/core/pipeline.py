@@ -17,8 +17,9 @@ loose keyword arguments still work through a deprecation shim.  With
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
+from repro.errors import DataError, StageError, StudyInterrupted
 from repro.net.asn import AMAZON_ASNS, CLOUD_ORG_IDS
 from repro.net.ip import IPv4
 from repro.core.aliasverify import AliasVerifier
@@ -33,6 +34,7 @@ from repro.core.grouping import PeeringGrouper
 from repro.core.heuristics import SegmentVerifier
 from repro.core.pinning import IterativePinner, regional_fallback
 from repro.core.results import DataQualityReport, InterfaceCensus, StudyResult
+from repro.core.stages import StageChain, StageStore, study_fingerprint
 from repro.core.vpi import VPIDetector
 from repro.datasets import (
     as2org_from_world,
@@ -57,6 +59,7 @@ from repro.measure.sink import (
     as_event_sink,
 )
 from repro.measure.ping import Pinger
+from repro.measure.supervise import StudySupervisor
 from repro.obs.export import write_trace
 from repro.measure.reachability import PublicVantagePoint
 from repro.measure.traceroute import TracerouteEngine
@@ -78,6 +81,58 @@ _LEGACY_CONFIG_KWARGS = (
 )
 
 
+class _RunContext:
+    """Mutable per-run state threaded through the stage graph.
+
+    Holds everything a stage body needs beyond ``self``: the result under
+    construction, the metrics/tracer pair, the shared probing campaign,
+    and the event-stream helpers.  One context per ``run()`` (or
+    ``salvage()``) call, so concurrent runs never share state.
+    """
+
+    def __init__(
+        self,
+        result: StudyResult,
+        metrics: StudyMetrics,
+        worker_spans: bool,
+        campaign: ProbeCampaign,
+        events: Optional[EventSink],
+    ) -> None:
+        self.result = result
+        self.metrics = metrics
+        self.tracer = metrics.tracer
+        self.worker_spans = worker_spans
+        self.campaign = campaign
+        self.events = events
+        #: set by the validate stage; consumed by the quality stage.
+        self.validation: Optional[DatasetValidationReport] = None
+
+    def campaign_progress(self, label: str) -> CampaignProgress:
+        return self.metrics.campaign(label)
+
+    def campaign_sink(self, sink: SinkLike) -> SinkLike:
+        """Tee a campaign's event stream to the study-wide sink."""
+        if self.events is None:
+            return sink
+        return FanoutEvents(sink, self.events)
+
+
+class _Stage(NamedTuple):
+    """One node of the declarative stage graph.
+
+    ``compute`` produces the stage's payload (a flat dict of
+    checkpoint-codec-encodable values); ``apply`` projects a payload --
+    freshly computed *or* loaded from a stage checkpoint -- onto the
+    result and run context.  ``apply`` must be cheap and side-effect
+    equivalent on both paths: that is the whole resume contract.
+    """
+
+    name: str
+    enabled: bool
+    compute: Callable[[_RunContext], Dict[str, Any]]
+    apply: Callable[[_RunContext, Dict[str, Any], bool], None]
+
+
 class AmazonPeeringStudy:
     """Runs the paper's full measurement study against a world."""
 
@@ -88,6 +143,7 @@ class AmazonPeeringStudy:
         *,
         events: Optional[SinkLike] = None,
         progress: Optional[ProgressCallback] = None,
+        supervisor: Optional[StudySupervisor] = None,
         **legacy: object,
     ) -> None:
         if isinstance(config, int):
@@ -149,6 +205,24 @@ class AmazonPeeringStudy:
             if config.checkpoint_dir
             else None
         )
+        self.stage_store = (
+            StageStore(config.checkpoint_dir, resume=config.resume)
+            if config.checkpoint_dir
+            else None
+        )
+        # The supervisor owns cancellation, the study deadline, the
+        # study-wide retry budget, and hung-shard detection.  An injected
+        # one (the CLI installs signal handlers on its own) wins; the
+        # default is built from the config's supervision knobs.
+        self.supervisor = (
+            supervisor
+            if supervisor is not None
+            else StudySupervisor(
+                deadline_s=config.deadline_s,
+                retry_budget=config.retry_budget,
+                hung_shard_after_s=config.hung_shard_after_s,
+            )
+        )
         self.pinger = Pinger(world, seed=seed)
         self.public_vp = PublicVantagePoint(world, seed=seed)
         self.rdns = ReverseDNS(world)
@@ -188,6 +262,56 @@ class AmazonPeeringStudy:
         }
 
     # ------------------------------------------------------------------
+    # the declarative stage graph
+    # ------------------------------------------------------------------
+
+    def _stage_graph(self) -> List[_Stage]:
+        """The study as an ordered stage graph (§3 through §7).
+
+        Each stage is (name, enabled, compute, apply); ``run`` walks the
+        graph, loading completed stages from the :class:`StageStore`
+        instead of recomputing them and checkpointing fresh ones, all
+        under one rolling fingerprint chain.
+        """
+        return [
+            _Stage("validate", True, self._compute_validate, self._apply_validate),
+            _Stage("round1", True, self._compute_round1, self._apply_round1),
+            _Stage("round2", True, self._compute_round2, self._apply_round2),
+            _Stage(
+                "heuristics", True, self._compute_heuristics, self._apply_heuristics
+            ),
+            _Stage("alias", True, self._compute_alias, self._apply_alias),
+            _Stage("pinning", True, self._compute_pinning, self._apply_pinning),
+            _Stage(
+                "crossval",
+                self.run_crossval,
+                self._compute_crossval,
+                self._apply_crossval,
+            ),
+            _Stage("vpi", self.run_vpi, self._compute_vpi, self._apply_vpi),
+            _Stage("grouping", True, self._compute_grouping, self._apply_grouping),
+            _Stage("icg", True, self._compute_icg, self._apply_icg),
+            _Stage("quality", True, self._compute_quality, self._apply_quality),
+        ]
+
+    def _make_context(
+        self, result: StudyResult, metrics: StudyMetrics, worker_spans: bool
+    ) -> _RunContext:
+        campaign = ProbeCampaign(
+            self.world,
+            self.engine,
+            workers=self.config.workers,
+            faults=self.config.fault_plan,
+            retry=self.retry_policy,
+            supervisor=self.supervisor,
+        )
+        return _RunContext(
+            result=result,
+            metrics=metrics,
+            worker_spans=worker_spans,
+            campaign=campaign,
+            events=self.events,
+        )
 
     def run(self) -> StudyResult:
         config = self.config
@@ -206,209 +330,130 @@ class AmazonPeeringStudy:
             metrics=metrics,
         )
         study_span = tracer.span("study", category="study")
-
-        def campaign_progress(label: str) -> CampaignProgress:
-            return metrics.campaign(label)
-
-        def campaign_sink(sink: SinkLike) -> SinkLike:
-            """Tee a campaign's event stream to the study-wide sink."""
-            if events is None:
-                return sink
-            return FanoutEvents(sink, events)
-
-        # Dataset cross-validation, *before* any probing: how much do the
-        # sources disagree with each other up front?
-        with metrics.stage("validate"):
-            validation = validate_datasets(
-                self.bgp_r2, self.whois, self.as2org, self.ixps
+        ctx = self._make_context(result, metrics, worker_spans)
+        store = self.stage_store
+        supervisor = self.supervisor
+        chain = StageChain(
+            study_fingerprint(
+                self.world.config.scale, self.world.config.seed, config
             )
-
-        # §3-§4.1: round-1 sweep.
-        campaign = ProbeCampaign(
-            self.world,
-            self.engine,
-            workers=config.workers,
-            faults=config.fault_plan,
-            retry=self.retry_policy,
         )
-        with metrics.stage("round1"):
-            result.round1_stats = campaign.run_round1(
-                campaign_sink(self.observatory),
-                progress=campaign_progress("round1"),
-                checkpoint_store=self.checkpoint_store,
-                tracer=tracer,
-                worker_spans=worker_spans,
+        try:
+            with supervisor:
+                for stage in self._stage_graph():
+                    if not stage.enabled:
+                        continue
+                    fingerprint = chain.fingerprint(stage.name)
+                    supervisor.poll()
+                    with metrics.stage(stage.name) as span:
+                        loaded = (
+                            store.load(stage.name, fingerprint)
+                            if store is not None
+                            else None
+                        )
+                        if loaded is not None:
+                            payload, digest = loaded
+                            stage.apply(ctx, payload, True)
+                            span.set("resumed", 1)
+                        else:
+                            try:
+                                payload = stage.compute(ctx)
+                            except StudyInterrupted:
+                                raise
+                            except Exception as exc:
+                                raise StageError(stage.name, exc) from exc
+                            stage.apply(ctx, payload, False)
+                            # A stage computed after any shard quarantine
+                            # is degraded content; never checkpoint it.
+                            # Resume re-runs it, healing the quarantined
+                            # shards from the campaign journals instead.
+                            if store is not None and not metrics.degraded:
+                                digest = store.save(
+                                    stage.name, fingerprint, payload
+                                )
+                            else:
+                                digest = "-"
+                    chain.advance(stage.name, digest)
+                    supervisor.note_stage_complete(stage.name)
+        except StudyInterrupted as exc:
+            # Graceful shutdown: make the on-disk state durable, leave a
+            # span explaining why the run stopped, and let the interrupt
+            # propagate (the CLI maps it to a distinct exit code).
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.finalize_all()
+            interrupt_span = tracer.span("study-interrupted", category="interrupt")
+            interrupt_span.set(
+                "stages_completed", len(supervisor.stages_completed)
             )
-
-        r1_abis = self.observatory.candidate_abis()
-        r1_cbis = self.observatory.candidate_cbis()
-        result.table1.append(self._census("ABI", r1_abis, self.annotator_r1))
-        result.table1.append(self._census("CBI", r1_cbis, self.annotator_r1))
-        result.peer_ases_round1 = len(self._peer_ases(r1_cbis, self.annotator_r1))
-
-        # §4.2: expansion probing under the round-2 snapshot.
-        with metrics.stage("round2"):
-            self.observatory.start_round("r2", self.annotator_r2)
-            result.round2_stats = campaign.run_expansion(
-                r1_cbis,
-                campaign_sink(self.observatory),
-                stride=self.expansion_stride,
-                progress=campaign_progress("round2"),
-                checkpoint_store=self.checkpoint_store,
-                tracer=tracer,
-                worker_spans=worker_spans,
-            )
-
-        e_abis = self.observatory.candidate_abis()
-        e_cbis = self.observatory.candidate_cbis()
-        result.table1.append(self._census("eABI", e_abis, self.annotator_r2))
-        result.table1.append(self._census("eCBI", e_cbis, self.annotator_r2))
-        result.peer_ases_round2 = len(self._peer_ases(e_cbis, self.annotator_r2))
-
-        # §5.1: heuristics.
-        with metrics.stage("heuristics"):
-            verifier = SegmentVerifier(
-                self.observatory,
-                self.public_vp,
-                min_confidence=config.min_confidence,
-            )
-            result.heuristics = verifier.verify()
-
-        # §5.2: alias resolution and ownership verification.
-        with metrics.stage("alias"):
-            candidates = sorted(e_abis | e_cbis)
-            result.alias_sets = self.alias_resolver.resolve(candidates)
-            alias_verifier = AliasVerifier(self.observatory, set(AMAZON_ASNS))
-            result.verification = alias_verifier.verify(result.alias_sets)
-            result.final_segments = result.verification.final_segments
-            result.abis = result.verification.abis
-            result.cbis = result.verification.cbis
-
-        # §6: RTT data, anchors, iterative pinning, regional fallback.
-        with metrics.stage("pinning"):
-            result.abi_min_rtts = self._abi_min_rtts(result.abis)
-            result.segment_rtt_diff = self._segment_rtt_diffs(result.final_segments)
-            parser = DNSGeoParser(self.world.catalog)
-            anchor_builder = AnchorBuilder(
-                observatory=self.observatory,
-                abis=result.abis,
-                cbis=result.cbis,
-                pinger=self.pinger,
-                rdns=self.rdns,
-                parser=parser,
-                ixps=self.ixps,
-                peeringdb=self.peeringdb,
-                catalog=self.world.catalog,
-                region_metro=self.region_metro,
-            )
-            result.anchors = anchor_builder.build(result.alias_sets)
-            confidence = {
-                ip: self.annotator_r2.annotate(ip).confidence
-                for ip in sorted(result.abis | result.cbis)
-            }
-            pinner = IterativePinner(
-                result.anchors.anchors,
-                result.alias_sets,
-                result.final_segments,
-                result.segment_rtt_diff,
-                confidence=confidence,
-                min_confidence=config.min_confidence,
-            )
-            result.pinning = pinner.run()
-            regional_fallback(
-                result.pinning,
-                result.abis | result.cbis,
-                self.pinger,
-                confidence=confidence,
-                min_confidence=config.min_confidence,
-            )
-
-        # §6.2: stratified cross-validation.
-        if self.run_crossval:
-            with metrics.stage("crossval"):
-                result.crossval = cross_validate_pinning(
-                    result.anchors.anchors,
-                    result.alias_sets,
-                    result.final_segments,
-                    result.segment_rtt_diff,
-                    folds=self.crossval_folds,
-                    seed=self.seed,
+            interrupt_span.set("deadline", 1 if exc.category == "deadline" else 0)
+            interrupt_span.close()
+            raise
+        finally:
+            self._close_study_span(study_span, metrics)
+            # The legacy timers dict is a snapshot of the stage-span view.
+            result.runtime_seconds = metrics.stages
+            if config.trace_out:
+                write_trace(
+                    config.trace_out,
+                    tracer.records,
+                    meta={
+                        "seed": self.seed,
+                        "scale": self.world.config.scale,
+                        "workers": config.workers,
+                    },
                 )
+            if events is not None:
+                events.close()
+        return result
 
-        # §7.1: VPI detection from the other clouds.
-        vpi_cbis: Set[IPv4] = set()
-        if self.run_vpi:
-            with metrics.stage("vpi"):
-                detector = VPIDetector(
-                    self.world,
-                    self.cloud_annotators,
-                    self.engine,
-                    workers=config.workers,
-                    faults=config.fault_plan,
-                    retry=self.retry_policy,
-                    checkpoint_store=self.checkpoint_store,
-                )
-                ixp_cbis = {
-                    cbi for cbi in result.cbis if self.annotator_r2.annotate(cbi).is_ixp
-                }
-                result.vpi = detector.detect(
-                    result.cbis,
-                    ixp_cbis,
-                    self.observatory.discovery_dsts(),
-                    progress_factory=lambda cloud: campaign_progress(f"vpi:{cloud}"),
-                    tracer=tracer,
-                    worker_spans=worker_spans,
-                )
-                vpi_cbis = result.vpi.vpi_cbis
+    def salvage(self) -> Tuple[StudyResult, List[str]]:
+        """Rebuild a partial :class:`StudyResult` from stage checkpoints.
 
-        # §7.2-§7.3: grouping.
-        with metrics.stage("grouping"):
-            router_owner = (
-                result.verification.ownership.owner_of_ip()
-                if result.verification and result.verification.ownership
-                else {}
+        No probing, no computation: the stage graph is replayed from the
+        :class:`StageStore` until the first missing (or invalidated)
+        checkpoint, and whatever prefix was recovered is applied to a
+        fresh result.  Returns ``(result, recovered_stage_names)`` --
+        the degradation ladder's last rung, feeding
+        ``repro study --salvage``'s partial report.
+        """
+        if self.stage_store is None:
+            raise DataError(
+                "salvage requires a checkpoint directory with stage "
+                "checkpoints (run with checkpoint_dir set)"
             )
-            grouper = PeeringGrouper(
-                self.observatory,
-                self.relationships,
-                vpi_cbis,
-                router_owner=router_owner,
-                home_asns=set(AMAZON_ASNS),
+        config = self.config
+        metrics = StudyMetrics()
+        result = StudyResult(
+            seed=self.seed,
+            scale=self.world.config.scale,
+            config=config,
+            metrics=metrics,
+        )
+        ctx = self._make_context(result, metrics, worker_spans=False)
+        chain = StageChain(
+            study_fingerprint(
+                self.world.config.scale, self.world.config.seed, config
             )
-            amazon_bgp_peers = self.relationships.amazon_links()
-            pinned_metros = {
-                ip: loc.metro_code for ip, loc in result.pinning.pinned.items()
-            }
-            result.grouping = grouper.group(
-                result.final_segments,
-                amazon_bgp_peers,
-                pinned_metro=pinned_metros,
-                rtt_diff=result.segment_rtt_diff,
+        )
+        recovered: List[str] = []
+        for stage in self._stage_graph():
+            if not stage.enabled:
+                continue
+            loaded = self.stage_store.load(
+                stage.name, chain.fingerprint(stage.name)
             )
-            result.bgp_visible_peers = amazon_bgp_peers
-            result.recovered_bgp_peers = amazon_bgp_peers & result.grouping.all_ases()
+            if loaded is None:
+                break  # the chain is only valid as an unbroken prefix
+            payload, digest = loaded
+            with metrics.stage(stage.name) as span:
+                stage.apply(ctx, payload, True)
+                span.set("resumed", 1)
+            chain.advance(stage.name, digest)
+            recovered.append(stage.name)
+        result.runtime_seconds = metrics.stages
+        return result, recovered
 
-        # §7.4: the ICG.
-        with metrics.stage("icg"):
-            icg = InterfaceConnectivityGraph(
-                result.final_segments, result.segment_rtt_diff
-            )
-            result.icg = icg.summarize(
-                pinned_metro=pinned_metros,
-                catalog=self.world.catalog,
-                region_metros=sorted(self.region_metro.values()),
-            )
-
-        # Data-quality rollup: what the sources disagreed on and which
-        # inferences the confidence floor flagged.  Observability only --
-        # deliberately outside the digest.
-        with metrics.stage("quality"):
-            result.data_quality = self._data_quality(result, validation)
-            metrics.note_data_quality(
-                result.data_quality.total_disagreements,
-                result.data_quality.flagged_count,
-            )
-
+    def _close_study_span(self, study_span: Any, metrics: StudyMetrics) -> None:
         # Annotation-layer counters ride on the study span: cache
         # behaviour, mean fallback-chain depth, and how often sources
         # disagreed.  Observability only -- outside the digest.
@@ -445,21 +490,320 @@ class AmazonPeeringStudy:
         )
         study_span.close()
 
-        # The legacy timers dict is a snapshot of the stage-span view.
-        result.runtime_seconds = metrics.stages
-        if config.trace_out:
-            write_trace(
-                config.trace_out,
-                tracer.records,
-                meta={
-                    "seed": self.seed,
-                    "scale": self.world.config.scale,
-                    "workers": config.workers,
-                },
+    # ------------------------------------------------------------------
+    # stage bodies: compute() produces a checkpointable payload, apply()
+    # projects it onto the result -- identically for fresh and resumed
+    # payloads, which is what makes the digest resume-invariant.
+    # ------------------------------------------------------------------
+
+    def _compute_validate(self, ctx: _RunContext) -> Dict[str, Any]:
+        # Dataset cross-validation, *before* any probing: how much do the
+        # sources disagree with each other up front?
+        return {
+            "validation": validate_datasets(
+                self.bgp_r2, self.whois, self.as2org, self.ixps
             )
-        if events is not None:
-            events.close()
-        return result
+        }
+
+    def _apply_validate(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        ctx.validation = payload["validation"]
+
+    def _compute_round1(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §3-§4.1: round-1 sweep.
+        stats = ctx.campaign.run_round1(
+            ctx.campaign_sink(self.observatory),
+            progress=ctx.campaign_progress("round1"),
+            checkpoint_store=self.checkpoint_store,
+            tracer=ctx.tracer,
+            worker_spans=ctx.worker_spans,
+        )
+        r1_abis = self.observatory.candidate_abis()
+        r1_cbis = self.observatory.candidate_cbis()
+        return {
+            "stats": stats,
+            "observatory": self.observatory.state_dict(),
+            "table1": [
+                self._census("ABI", r1_abis, self.annotator_r1),
+                self._census("CBI", r1_cbis, self.annotator_r1),
+            ],
+            "peer_ases_round1": len(
+                self._peer_ases(r1_cbis, self.annotator_r1)
+            ),
+        }
+
+    def _apply_round1(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        if resumed:
+            self.observatory.load_state(payload["observatory"])
+        result = ctx.result
+        result.round1_stats = payload["stats"]
+        result.table1.extend(payload["table1"])
+        result.peer_ases_round1 = payload["peer_ases_round1"]
+
+    def _compute_round2(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §4.2: expansion probing under the round-2 snapshot.
+        r1_cbis = self.observatory.candidate_cbis()
+        self.observatory.start_round("r2", self.annotator_r2)
+        stats = ctx.campaign.run_expansion(
+            r1_cbis,
+            ctx.campaign_sink(self.observatory),
+            stride=self.expansion_stride,
+            progress=ctx.campaign_progress("round2"),
+            checkpoint_store=self.checkpoint_store,
+            tracer=ctx.tracer,
+            worker_spans=ctx.worker_spans,
+        )
+        e_abis = self.observatory.candidate_abis()
+        e_cbis = self.observatory.candidate_cbis()
+        return {
+            "stats": stats,
+            "observatory": self.observatory.state_dict(),
+            "table1": [
+                self._census("eABI", e_abis, self.annotator_r2),
+                self._census("eCBI", e_cbis, self.annotator_r2),
+            ],
+            "peer_ases_round2": len(
+                self._peer_ases(e_cbis, self.annotator_r2)
+            ),
+        }
+
+    def _apply_round2(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        if resumed:
+            self.observatory.load_state(payload["observatory"])
+            # The restored state says round "r2"; point the live
+            # annotator at the round-2 snapshot to match.
+            self.observatory.start_round("r2", self.annotator_r2)
+        result = ctx.result
+        result.round2_stats = payload["stats"]
+        result.table1.extend(payload["table1"])
+        result.peer_ases_round2 = payload["peer_ases_round2"]
+
+    def _compute_heuristics(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §5.1: heuristics.
+        verifier = SegmentVerifier(
+            self.observatory,
+            self.public_vp,
+            min_confidence=self.config.min_confidence,
+        )
+        return {"heuristics": verifier.verify()}
+
+    def _apply_heuristics(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        ctx.result.heuristics = payload["heuristics"]
+
+    def _compute_alias(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §5.2: alias resolution and ownership verification.
+        candidates = sorted(
+            self.observatory.candidate_abis() | self.observatory.candidate_cbis()
+        )
+        alias_sets = self.alias_resolver.resolve(candidates)
+        alias_verifier = AliasVerifier(self.observatory, set(AMAZON_ASNS))
+        verification = alias_verifier.verify(alias_sets)
+        return {"alias_sets": alias_sets, "verification": verification}
+
+    def _apply_alias(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        result = ctx.result
+        result.alias_sets = payload["alias_sets"]
+        result.verification = payload["verification"]
+        result.final_segments = result.verification.final_segments
+        result.abis = result.verification.abis
+        result.cbis = result.verification.cbis
+
+    def _compute_pinning(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §6: RTT data, anchors, iterative pinning, regional fallback.
+        config = self.config
+        result = ctx.result
+        abi_min_rtts = self._abi_min_rtts(result.abis)
+        segment_rtt_diff = self._segment_rtt_diffs(result.final_segments)
+        parser = DNSGeoParser(self.world.catalog)
+        anchor_builder = AnchorBuilder(
+            observatory=self.observatory,
+            abis=result.abis,
+            cbis=result.cbis,
+            pinger=self.pinger,
+            rdns=self.rdns,
+            parser=parser,
+            ixps=self.ixps,
+            peeringdb=self.peeringdb,
+            catalog=self.world.catalog,
+            region_metro=self.region_metro,
+        )
+        anchors = anchor_builder.build(result.alias_sets)
+        confidence = {
+            ip: self.annotator_r2.annotate(ip).confidence
+            for ip in sorted(result.abis | result.cbis)
+        }
+        pinner = IterativePinner(
+            anchors.anchors,
+            result.alias_sets,
+            result.final_segments,
+            segment_rtt_diff,
+            confidence=confidence,
+            min_confidence=config.min_confidence,
+        )
+        pinning = pinner.run()
+        regional_fallback(
+            pinning,
+            result.abis | result.cbis,
+            self.pinger,
+            confidence=confidence,
+            min_confidence=config.min_confidence,
+        )
+        return {
+            "abi_min_rtts": abi_min_rtts,
+            "segment_rtt_diff": segment_rtt_diff,
+            "anchors": anchors,
+            "pinning": pinning,
+        }
+
+    def _apply_pinning(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        result = ctx.result
+        result.abi_min_rtts = payload["abi_min_rtts"]
+        result.segment_rtt_diff = payload["segment_rtt_diff"]
+        result.anchors = payload["anchors"]
+        result.pinning = payload["pinning"]
+
+    def _compute_crossval(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §6.2: stratified cross-validation.
+        result = ctx.result
+        return {
+            "crossval": cross_validate_pinning(
+                result.anchors.anchors,
+                result.alias_sets,
+                result.final_segments,
+                result.segment_rtt_diff,
+                folds=self.crossval_folds,
+                seed=self.seed,
+            )
+        }
+
+    def _apply_crossval(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        ctx.result.crossval = payload["crossval"]
+
+    def _compute_vpi(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §7.1: VPI detection from the other clouds.
+        result = ctx.result
+        detector = VPIDetector(
+            self.world,
+            self.cloud_annotators,
+            self.engine,
+            workers=self.config.workers,
+            faults=self.config.fault_plan,
+            retry=self.retry_policy,
+            checkpoint_store=self.checkpoint_store,
+            supervisor=self.supervisor,
+        )
+        ixp_cbis = {
+            cbi for cbi in result.cbis if self.annotator_r2.annotate(cbi).is_ixp
+        }
+        vpi = detector.detect(
+            result.cbis,
+            ixp_cbis,
+            self.observatory.discovery_dsts(),
+            progress_factory=lambda cloud: ctx.campaign_progress(f"vpi:{cloud}"),
+            tracer=ctx.tracer,
+            worker_spans=ctx.worker_spans,
+        )
+        return {"vpi": vpi}
+
+    def _apply_vpi(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        ctx.result.vpi = payload["vpi"]
+
+    def _compute_grouping(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §7.2-§7.3: grouping.
+        result = ctx.result
+        vpi_cbis: Set[IPv4] = (
+            result.vpi.vpi_cbis if result.vpi is not None else set()
+        )
+        router_owner = (
+            result.verification.ownership.owner_of_ip()
+            if result.verification and result.verification.ownership
+            else {}
+        )
+        grouper = PeeringGrouper(
+            self.observatory,
+            self.relationships,
+            vpi_cbis,
+            router_owner=router_owner,
+            home_asns=set(AMAZON_ASNS),
+        )
+        amazon_bgp_peers = self.relationships.amazon_links()
+        pinned_metros = {
+            ip: loc.metro_code for ip, loc in result.pinning.pinned.items()
+        }
+        grouping = grouper.group(
+            result.final_segments,
+            amazon_bgp_peers,
+            pinned_metro=pinned_metros,
+            rtt_diff=result.segment_rtt_diff,
+        )
+        return {
+            "grouping": grouping,
+            "bgp_visible_peers": amazon_bgp_peers,
+            "recovered_bgp_peers": amazon_bgp_peers & grouping.all_ases(),
+        }
+
+    def _apply_grouping(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        result = ctx.result
+        result.grouping = payload["grouping"]
+        result.bgp_visible_peers = payload["bgp_visible_peers"]
+        result.recovered_bgp_peers = payload["recovered_bgp_peers"]
+
+    def _compute_icg(self, ctx: _RunContext) -> Dict[str, Any]:
+        # §7.4: the ICG.
+        result = ctx.result
+        pinned_metros = {
+            ip: loc.metro_code for ip, loc in result.pinning.pinned.items()
+        }
+        icg = InterfaceConnectivityGraph(
+            result.final_segments, result.segment_rtt_diff
+        )
+        return {
+            "icg": icg.summarize(
+                pinned_metro=pinned_metros,
+                catalog=self.world.catalog,
+                region_metros=sorted(self.region_metro.values()),
+            )
+        }
+
+    def _apply_icg(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        ctx.result.icg = payload["icg"]
+
+    def _compute_quality(self, ctx: _RunContext) -> Dict[str, Any]:
+        # Data-quality rollup: what the sources disagreed on and which
+        # inferences the confidence floor flagged.  Observability only --
+        # deliberately outside the digest.
+        validation = ctx.validation
+        if validation is None:
+            raise DataError("quality stage needs the validate stage's output")
+        return {"data_quality": self._data_quality(ctx.result, validation)}
+
+    def _apply_quality(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        ctx.result.data_quality = payload["data_quality"]
+        ctx.metrics.note_data_quality(
+            payload["data_quality"].total_disagreements,
+            payload["data_quality"].flagged_count,
+        )
 
     # ------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.measure.checkpoint import CheckpointStore
 from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress
+from repro.measure.supervise import StudySupervisor
 from repro.measure.traceroute import TracerouteEngine
 from repro.obs.span import TracerLike
 from repro.world.model import World
@@ -77,6 +78,7 @@ class VPIDetector:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
+        supervisor: Optional[StudySupervisor] = None,
     ) -> None:
         self.world = world
         self.annotators = annotators
@@ -86,6 +88,7 @@ class VPIDetector:
         self.faults = faults if faults is not None else self.engine.faults
         self.retry = retry
         self.checkpoint_store = checkpoint_store
+        self.supervisor = supervisor
 
     def detect(
         self,
@@ -112,6 +115,7 @@ class VPIDetector:
                 workers=self.workers,
                 faults=self.faults,
                 retry=self.retry,
+                supervisor=self.supervisor,
             )
             stats = campaign.run(
                 pool,

@@ -118,6 +118,7 @@ DEFAULT_CONFIG = LintConfig(
             "src/repro/datasets/datafaults.py",
         ),
         "REP004": ("src/repro/measure", "src/repro/core", "src/repro/obs"),
+        "REP007": ("src/repro/measure", "src/repro/core"),
     },
     rule_exclude={
         "REP001": ("src/repro/net/rng.py",),
@@ -348,7 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "AST-based determinism & purity auditor for the repro tree "
-            "(rules REP001..REP006; see DESIGN.md 'Determinism contract')"
+            "(rules REP001..REP007; see DESIGN.md 'Determinism contract')"
         ),
     )
     parser.add_argument(

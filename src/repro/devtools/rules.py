@@ -23,6 +23,10 @@ REP005   Mutable default arguments alias state across calls -- a purity
 REP006   Callables handed to the multiprocessing executor must be
          module-level: closures capture parent state that pickling or
          fork re-execution silently diverges from.
+REP007   Broad exception handlers on measurement/inference paths must
+         re-raise or classify into the ``repro.errors`` taxonomy;
+         swallowing ``Exception`` hides failures from the supervisor's
+         retry / quarantine / salvage ladder.
 =======  ==============================================================
 """
 
@@ -727,6 +731,84 @@ def _check_rep006(ctx: RuleContext) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP007 -- broad exception handlers outside the error taxonomy
+# ----------------------------------------------------------------------
+
+#: Names from :mod:`repro.errors` whose presence in a handler body means
+#: the failure is being classified rather than swallowed.
+_TAXONOMY_NAMES = frozenset(
+    {
+        "ReproError",
+        "TransportError",
+        "DataError",
+        "StageError",
+        "StudyInterrupted",
+        "DeadlineExceeded",
+        "HungShardError",
+        "ShardTimeoutError",
+        "classify_error",
+        "wrap_error",
+    }
+)
+
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception``, ``except BaseException``
+    (bare names or inside a tuple; ``as exc`` does not matter)."""
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD_EXCEPTION_NAMES:
+            return True
+    return False
+
+
+def _handler_classifies(handler: ast.ExceptHandler) -> bool:
+    """A handler is fine if it re-raises (anything) or touches the
+    taxonomy -- wrapping, classifying, or constructing a ``ReproError``."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and node.id in _TAXONOMY_NAMES:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in _TAXONOMY_NAMES:
+                return True
+    return False
+
+
+def _check_rep007(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _catches_broadly(node) or _handler_classifies(node):
+            continue
+        caught = "bare except" if node.type is None else ast.unparse(node.type)
+        findings.append(
+            Finding(
+                code="REP007",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"broad handler ({caught}) neither re-raises nor "
+                    "classifies into the repro.errors taxonomy: the "
+                    "supervisor cannot retry, quarantine, or salvage a "
+                    "failure it never sees"
+                ),
+                fix_hint="re-raise, or wrap via repro.errors.wrap_error / "
+                "a ReproError subclass so the failure is classified",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -790,6 +872,18 @@ RULES: Mapping[str, RuleSpec] = {
             ),
             fix_hint="submit module-level functions only",
             check=_check_rep006,
+        ),
+        RuleSpec(
+            code="REP007",
+            title="broad exception handler outside the error taxonomy",
+            rationale=(
+                "a swallowed Exception on a measurement path is a "
+                "failure the supervisor can neither retry, quarantine, "
+                "nor report; classification is what makes degradation "
+                "deliberate instead of silent"
+            ),
+            fix_hint="re-raise or wrap via repro.errors.wrap_error",
+            check=_check_rep007,
         ),
     )
 }

@@ -21,6 +21,7 @@ from repro.measure.executor import RetryPolicy
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress
 from repro.measure.sink import SinkLike
+from repro.measure.supervise import StudySupervisor
 from repro.measure.traceroute import Traceroute, TracerouteEngine
 from repro.obs.span import TracerLike
 from repro.world.model import World
@@ -106,6 +107,7 @@ class ProbeCampaign:
         workers: int = 1,
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        supervisor: Optional[StudySupervisor] = None,
     ) -> None:
         self.world = world
         self.cloud = cloud
@@ -117,6 +119,7 @@ class ProbeCampaign:
         self.workers = max(1, workers)
         self.faults = faults if faults is not None else self.engine.faults
         self.retry = retry
+        self.supervisor = supervisor
         self.membership = CloudMembership(world, cloud)
 
     # ------------------------------------------------------------------
@@ -158,6 +161,7 @@ class ProbeCampaign:
             workers=self.workers if workers is None else workers,
             faults=self.faults,
             retry=self.retry,
+            supervisor=self.supervisor,
         )
         executor.run(
             targets,

@@ -21,9 +21,10 @@ mid-write) is silently dropped.
 from __future__ import annotations
 
 import json
+import os
 import re
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 _FORMAT_VERSION = 1
 
@@ -122,15 +123,72 @@ class CampaignCheckpoint:
             fh.flush()
         self._shards[shard_index] = packed
 
+    def finalize(self) -> None:
+        """Compact the journal into one atomically-replaced, fsynced file.
+
+        The append path above is fast but a hard kill can still tear its
+        final line; the reader tolerates that, but once a campaign (or an
+        interrupted study) reaches a quiescent point we rewrite the whole
+        journal via temp-file + ``os.replace`` + fsync so the on-disk
+        state is durable and untorn.  Idempotent; shard order is sorted
+        so the finalized bytes are deterministic.
+        """
+        if not self.path.parent.exists():
+            return
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(
+                {"version": _FORMAT_VERSION, "fingerprint": self.fingerprint},
+                fh,
+            )
+            fh.write("\n")
+            for shard_index in sorted(self._shards):
+                json.dump(
+                    {"shard": shard_index, "packed": self._shards[shard_index]},
+                    fh,
+                )
+                fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.path.parent)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Durably record a rename in its directory (best effort)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
 
 class CheckpointStore:
-    """A directory of per-campaign journals for one study run."""
+    """A directory of per-campaign journals for one study run.
+
+    The store tracks every journal it opened so an interrupt handler can
+    :meth:`finalize_all` -- flush and atomically rewrite each journal --
+    before the process exits.
+    """
 
     def __init__(self, root: Union[str, Path], resume: bool = False) -> None:
         self.root = Path(root)
         self.resume = resume
         self.root.mkdir(parents=True, exist_ok=True)
+        self._open: List[CampaignCheckpoint] = []
 
     def campaign(self, label: str, fingerprint: str) -> CampaignCheckpoint:
         path = self.root / (_safe_filename(label) + ".jsonl")
-        return CampaignCheckpoint(path, fingerprint, resume=self.resume)
+        checkpoint = CampaignCheckpoint(path, fingerprint, resume=self.resume)
+        self._open.append(checkpoint)
+        return checkpoint
+
+    def finalize_all(self) -> None:
+        """Finalize every journal opened through this store (idempotent)."""
+        for checkpoint in self._open:
+            checkpoint.finalize()

@@ -62,9 +62,17 @@ from typing import (
     Tuple,
 )
 
+from repro.errors import (
+    HungShardError,
+    ReproError,
+    ShardTimeoutError,
+    StudyInterrupted,
+    wrap_error,
+)
 from repro.measure.checkpoint import CampaignCheckpoint, CheckpointStore
 from repro.measure.faults import FaultPlan
 from repro.measure.metrics import CampaignProgress, QuarantinedShard, ShardTiming
+from repro.measure.supervise import StudySupervisor
 from repro.measure.sink import EventSink, SinkLike, as_event_sink
 from repro.measure.traceroute import TraceHop, Traceroute, TracerouteEngine
 from repro.net.ip import IPv4
@@ -372,6 +380,7 @@ class ShardedExecutor:
         shard_size: Optional[int] = None,
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        supervisor: Optional[StudySupervisor] = None,
     ) -> None:
         self.world = world
         self.engine = engine
@@ -381,6 +390,7 @@ class ShardedExecutor:
         self.shard_size = shard_size
         self.faults = faults
         self.retry = retry or RetryPolicy()
+        self.supervisor = supervisor
 
     # ------------------------------------------------------------------
 
@@ -452,6 +462,7 @@ class ShardedExecutor:
                     stats,
                     progress,
                     trc,
+                    self.supervisor,
                 )
             else:
                 ctx = _pool_context()
@@ -489,6 +500,7 @@ class ShardedExecutor:
                         stats,
                         progress,
                         trc,
+                        self.supervisor,
                     )
                 finally:
                     pool.terminate()
@@ -508,6 +520,11 @@ class ShardedExecutor:
                 campaign_span.set("lost", stats.lost_probes)
                 campaign_span.set("quarantined", stats.quarantined_shards)
             campaign_span.close()
+            if checkpoint is not None:
+                # Compact the append-mode journal into an atomically
+                # replaced, fsynced file -- runs on interrupts too, so a
+                # cancelled study leaves a durable, untorn journal behind.
+                checkpoint.finalize()
             events.close()
 
     # ------------------------------------------------------------------
@@ -586,7 +603,7 @@ class ShardedExecutor:
         while True:
             try:
                 if handle is not None and attempt == 0:
-                    packed = handle.get(timeout=self.retry.shard_timeout)
+                    packed = self._wait_for_shard(handle, shard)
                     result = _unpack_result(packed, self.cloud)
                     worker_packed = _packed_spans(packed)
                 else:
@@ -603,21 +620,35 @@ class ShardedExecutor:
                         tracer=tracer if worker_spans else NULL_TRACER,
                     )
                     worker_packed = None
+            except StudyInterrupted:
+                # Cancellation is not a shard failure: it must never be
+                # retried, quarantined, or otherwise absorbed.
+                raise
             except Exception as exc:  # worker crash, timeout, injected fault
+                failure = wrap_error(exc)
                 attempt += 1
                 if progress is not None:
-                    progress.note_failure(shard.index, _describe_error(exc))
+                    progress.note_failure(
+                        shard.index,
+                        _describe_error(failure),
+                        category=failure.category,
+                    )
                 if attempt > self.retry.max_retries:
-                    if progress is not None:
-                        progress.note_quarantine(
-                            QuarantinedShard(
-                                index=shard.index,
-                                region=shard.region,
-                                probes=len(shard.targets),
-                                error=_describe_error(exc),
-                            )
-                        )
-                    return _ShardOutcome(result=None, attempts=attempt)
+                    return self._quarantine(
+                        shard, attempt, _describe_error(failure), progress
+                    )
+                if (
+                    self.supervisor is not None
+                    and not self.supervisor.consume_retry()
+                ):
+                    # The study-wide retry budget is spent: degrade now
+                    # instead of burning the deadline on a sick campaign.
+                    return self._quarantine(
+                        shard,
+                        attempt,
+                        _describe_error(failure) + " (retry budget exhausted)",
+                        progress,
+                    )
                 backoff = self.retry.backoff_seconds(attempt)
                 if backoff > 0:
                     time.sleep(backoff)
@@ -630,6 +661,58 @@ class ShardedExecutor:
                 attempts=attempt + 1,
             )
 
+    def _quarantine(
+        self,
+        shard: Shard,
+        attempts: int,
+        error: str,
+        progress: Optional[CampaignProgress],
+    ) -> _ShardOutcome:
+        if progress is not None:
+            progress.note_quarantine(
+                QuarantinedShard(
+                    index=shard.index,
+                    region=shard.region,
+                    probes=len(shard.targets),
+                    error=error,
+                )
+            )
+        return _ShardOutcome(result=None, attempts=attempts)
+
+    def _wait_for_shard(
+        self,
+        handle: "AsyncResult[Tuple[Any, ...]]",
+        shard: Shard,
+    ) -> Tuple[Any, ...]:
+        """Wait for a pooled first attempt, under supervision.
+
+        Without a supervisor this is the classic bounded ``get``.  With
+        one, the wait is chopped into short slices so cancellation and
+        the deadline are honoured mid-wait, and a shard that stays silent
+        past ``hung_shard_after_s`` raises :class:`HungShardError` --
+        the supervision-level "this worker is lost" verdict, as opposed
+        to the retry-level per-attempt ``shard_timeout``.
+        """
+        supervisor = self.supervisor
+        if supervisor is None:
+            return handle.get(timeout=self.retry.shard_timeout)
+        hung_after = supervisor.hung_shard_after_s
+        step = 0.05
+        waited = 0.0
+        while True:
+            supervisor.poll()
+            try:
+                return handle.get(timeout=step)
+            except multiprocessing.TimeoutError:
+                waited += step
+                if hung_after is not None and waited >= hung_after:
+                    raise HungShardError(
+                        f"shard {shard.index} unresponsive for {waited:.1f}s"
+                    ) from None
+                timeout = self.retry.shard_timeout
+                if timeout is not None and waited >= timeout:
+                    raise ShardTimeoutError("shard timeout") from None
+
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -640,15 +723,20 @@ class ShardedExecutor:
         stats: "CampaignStats",
         progress: Optional[CampaignProgress],
         tracer: TracerLike,
+        supervisor: Optional[StudySupervisor] = None,
     ) -> None:
         """Consume shard results in submission order -- the serial order.
 
         Each shard gets a ``shard`` span covering the parent-side wait,
         retries, and merge for that shard; worker-side span rows (pool
         path) are adopted under it, so worker time and parent time stay
-        separately attributed.
+        separately attributed.  Shard boundaries are the executor's safe
+        interrupt points: the supervisor is polled before each shard, so
+        a cancelled study stops with every journal record intact.
         """
         for shard in shards:
+            if supervisor is not None:
+                supervisor.poll()
             span = tracer.span(f"shard:{shard.index}", category="shard")
             outcome = fetch(shard)
             result = outcome.result
@@ -682,9 +770,11 @@ class ShardedExecutor:
                 events.on_shard_merged(progress, timing)
 
 
-def _describe_error(exc: Exception) -> str:
-    if isinstance(exc, multiprocessing.TimeoutError):
+def _describe_error(exc: BaseException) -> str:
+    if isinstance(exc, (ShardTimeoutError, multiprocessing.TimeoutError)):
         return "shard timeout"
+    if isinstance(exc, ReproError):
+        return str(exc)
     return f"{type(exc).__name__}: {exc}"
 
 

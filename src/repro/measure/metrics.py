@@ -21,7 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
-from repro.obs.span import Tracer
+from repro.obs.span import Span, Tracer
 
 
 @dataclass(frozen=True)
@@ -36,10 +36,16 @@ class ShardTiming:
 
 @dataclass(frozen=True)
 class ShardFailure:
-    """One failed shard attempt (crash, timeout, or injected fault)."""
+    """One failed shard attempt (crash, timeout, or injected fault).
+
+    ``category`` is the :mod:`repro.errors` taxonomy bucket (transport,
+    timeout, hung, data...) so the resilience report can say *what kind*
+    of failures a campaign absorbed, not just how many.
+    """
 
     index: int
     error: str
+    category: str = "transport"
 
 
 @dataclass(frozen=True)
@@ -95,8 +101,19 @@ class CampaignProgress:
         if self.callback is not None:
             self.callback(self, timing)
 
-    def note_failure(self, shard_index: int, error: str) -> None:
-        self.failures.append(ShardFailure(index=shard_index, error=error))
+    def note_failure(
+        self, shard_index: int, error: str, category: str = "transport"
+    ) -> None:
+        self.failures.append(
+            ShardFailure(index=shard_index, error=error, category=category)
+        )
+
+    def failure_categories(self) -> Dict[str, int]:
+        """Taxonomy category -> count, in first-seen order."""
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.category] = counts.get(failure.category, 0) + 1
+        return counts
 
     def note_quarantine(self, shard: QuarantinedShard) -> None:
         self.quarantined.append(shard)
@@ -208,10 +225,14 @@ class StudyMetrics:
         return folded
 
     @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Time a pipeline stage: ``with metrics.stage("round1"): ...``."""
-        with self.tracer.span(name, category="stage"):
-            yield
+    def stage(self, name: str) -> Iterator[Span]:
+        """Time a pipeline stage: ``with metrics.stage("round1"): ...``.
+
+        Yields the span so callers can attach attributes (the stage
+        runner marks checkpoint-restored stages with ``resumed=1``).
+        """
+        with self.tracer.span(name, category="stage") as span:
+            yield span
 
     def campaign(
         self, label: str, callback: Optional[ProgressCallback] = None

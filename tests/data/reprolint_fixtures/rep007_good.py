@@ -1,0 +1,34 @@
+"""REP007 clean counterparts: narrow, re-raising, or classifying."""
+
+from repro.errors import DataError, StudyInterrupted, wrap_error
+
+
+def narrow_handler(shard):
+    try:
+        return shard.probe()
+    except ValueError:
+        return None
+
+
+def reraise(shard):
+    try:
+        return shard.probe()
+    except Exception:
+        raise
+
+
+def classify(shard, failures):
+    try:
+        return shard.probe()
+    except StudyInterrupted:
+        raise
+    except Exception as exc:
+        failures.append(wrap_error(exc))
+        return None
+
+
+def wrap_into_taxonomy(record):
+    try:
+        return record.decode()
+    except Exception as exc:
+        raise DataError(f"undecodable record: {exc}") from exc

@@ -48,6 +48,7 @@ def test_rule_catalogue_is_complete():
         "REP004",
         "REP005",
         "REP006",
+        "REP007",
     )
     for spec in RULES.values():
         assert spec.title and spec.rationale and spec.fix_hint
@@ -63,6 +64,7 @@ CASES = [
     ("REP004", "rep004_bad.py", 4, "rep004_good.py"),
     ("REP005", "rep005_bad.py", 4, "rep005_good.py"),
     ("REP006", "rep006_bad.py", 3, "rep006_good.py"),
+    ("REP007", "rep007_bad.py", 3, "rep007_good.py"),
 ]
 
 
