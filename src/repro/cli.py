@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.analysis.report import render_report, render_salvage, render_sensitivity
 from repro.core.config import StudyConfig
@@ -26,10 +26,12 @@ from repro.datasets.datafaults import DataFaultPlan
 from repro.errors import EXIT_INTERRUPTED, StudyInterrupted
 from repro.measure.faults import FaultPlan
 from repro.measure.supervise import StudySupervisor
-from repro.measure.metrics import CampaignProgress, ShardTiming
 from repro.measure.sink import EventSink
-from repro.obs.span import SpanRecord
 from repro.world.build import WorldConfig, build_world
+
+if TYPE_CHECKING:
+    from repro.measure.metrics import CampaignProgress, ShardTiming
+    from repro.obs.span import SpanRecord
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +247,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.devtools.reprolint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "audit":
+        # `repro audit` runs the whole-program auditor: import-graph
+        # layering plus the schema and API lockfile passes.
+        from repro.devtools.audit.driver import main as audit_main
+
+        return audit_main(argv[1:])
     if argv and argv[0] == "trace":
         # `repro trace <file>` renders the self-time table and probe
         # funnel of a trace written by --trace-out.

@@ -36,16 +36,24 @@ import dataclasses
 import hashlib
 import json
 import os
-import re
 from collections import Counter
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
 
 from repro.errors import DataError
+from repro.fsutil import fsync_dir, safe_name
 from repro.core.aliasverify import AliasOwnership, VerificationResult
 from repro.core.anchors import AnchorSet
 from repro.core.borders import ObservatoryStats, SegmentRecord
-from repro.core.config import StudyConfig
 from repro.core.crossval import CrossValidationResult, FoldResult
 from repro.core.graph import ICGSummary
 from repro.core.grouping import GroupingResult, PeeringRecord
@@ -56,6 +64,9 @@ from repro.core.vpi import VPIDetectionResult
 from repro.datasets.datafaults import DataFaultPlan
 from repro.datasets.validate import DatasetValidationReport
 from repro.measure.campaign import CampaignStats
+
+if TYPE_CHECKING:
+    from repro.core.config import StudyConfig
 
 _FORMAT_VERSION = 1
 
@@ -265,10 +276,6 @@ class StageChain:
 # ----------------------------------------------------------------------
 
 
-def _safe_stage_name(stage: str) -> str:
-    return re.sub(r"[^A-Za-z0-9_.-]", "_", stage) or "stage"
-
-
 class StageStore:
     """One atomically-written checkpoint file per pipeline stage.
 
@@ -288,7 +295,7 @@ class StageStore:
                 path.unlink()
 
     def _path(self, stage: str) -> Path:
-        return self.root / f"stage_{_safe_stage_name(stage)}.json"
+        return self.root / f"stage_{safe_name(stage, 'stage')}.json"
 
     def load(
         self, stage: str, fingerprint: str
@@ -347,17 +354,3 @@ class StageStore:
         os.replace(tmp, path)
         fsync_dir(self.root)
         return digest
-
-
-def fsync_dir(path: Union[str, Path]) -> None:
-    """fsync a directory so a rename within it is durable (best effort)."""
-    try:
-        fd = os.open(str(path), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)

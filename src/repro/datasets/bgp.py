@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.net.asn import AMAZON_PRIMARY_ASN, ASN
+from repro.net.asn import AMAZON_PRIMARY_ASN, ASN, FALLBACK_TRANSIT_ASN
 from repro.net.ip import IPv4, Prefix, PrefixLPMIndex
 from repro.datasets.datafaults import DataFaultPlan
 from repro.world.model import World
@@ -213,8 +213,6 @@ def snapshot_from_world(
         if icx.bgp_visible:
             links.add((AMAZON_PRIMARY_ASN, icx.peer_asn))
     # Transit edges: every client buys transit from the global backbone.
-    from repro.world.build import FALLBACK_TRANSIT_ASN
-
     for asn in world.client_ases:
         links.add((FALLBACK_TRANSIT_ASN, asn))
 

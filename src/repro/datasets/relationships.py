@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set
 
-from repro.net.asn import AMAZON_PRIMARY_ASN, ASN
+from repro.net.asn import AMAZON_PRIMARY_ASN, ASN, TRANSIT_ASNS
 from repro.world.model import World
 
 P2P = "p2p"          # settlement-free peering
@@ -66,8 +66,6 @@ class ASRelationships:
 
 def relationships_from_world(world: World) -> ASRelationships:
     """Derive the BGP-visible relationship graph and cone metadata."""
-    from repro.world.build import TRANSIT_ASNS
-
     rels: List[Relationship] = []
     seen: Set[FrozenSet[ASN]] = set()
     for icx in world.interconnections.values():

@@ -1,0 +1,121 @@
+"""Shared ``pyproject.toml`` plumbing for the devtools auditors.
+
+``repro lint`` (:mod:`repro.devtools.reprolint`) and ``repro audit``
+(:mod:`repro.devtools.audit`) are both configured through ``[tool.*]``
+sections of the repo's ``pyproject.toml``, and both scope their checks
+by repo-relative path prefixes.  This module owns that plumbing once, so
+the two tools can never drift apart on how a section is located, how
+missing ``tomllib`` is handled, or what "path ``a/b`` is under prefix
+``a``" means:
+
+* :func:`load_tool_section` -- find and parse one ``[tool.<name>]``
+  table (returns the section, or ``None`` when the file or section is
+  absent, plus the root directory config paths are relative to);
+* :func:`path_matches` -- the single prefix-matching predicate both
+  tools use for ``paths`` / ``exclude`` / per-rule scoping entries;
+* :func:`parse_python` -- ``ast.parse`` with the shared failure
+  contract: an unparseable file (syntax error *or* a ``ValueError``
+  such as a NUL byte in the source) is reported as a *fatal*
+  :class:`~repro.devtools.rules.Finding`, never a traceback, and both
+  CLIs turn any fatal finding into exit status 2.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.devtools.rules import Finding
+
+__all__ = [
+    "load_tool_section",
+    "parse_python",
+    "path_matches",
+]
+
+
+def load_tool_section(
+    tool: str, pyproject_path: Optional[str] = None
+) -> Tuple[Optional[Mapping[str, Any]], str]:
+    """Locate and parse ``[tool.<tool>]`` from a ``pyproject.toml``.
+
+    With ``pyproject_path=None`` the CWD's ``pyproject.toml`` is tried.
+    Returns ``(section, root)`` where ``root`` is the directory all of
+    the section's relative paths are resolved against.  ``section`` is
+    ``None`` when the file does not exist, the section is absent, or the
+    interpreter predates ``tomllib`` (Python < 3.11) -- callers fall
+    back to their builtin mirror of the committed config in every one of
+    those cases, which the config-sync tests keep honest.
+
+    ``OSError`` from an explicitly-named unreadable file propagates (the
+    CLIs report it as a usage error, exit 2).
+    """
+    if pyproject_path is None:
+        candidate = os.path.join(os.getcwd(), "pyproject.toml")
+        if not os.path.isfile(candidate):
+            return None, os.getcwd()
+        pyproject_path = candidate
+    root = os.path.dirname(os.path.abspath(pyproject_path))
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        return None, root
+    with open(pyproject_path, "rb") as fh:
+        data = tomllib.load(fh)
+    section = data.get("tool", {}).get(tool)
+    if not isinstance(section, Mapping):
+        return None, root
+    return section, root
+
+
+def path_matches(rel_path: str, prefixes: Tuple[str, ...]) -> bool:
+    """Is ``rel_path`` equal to, or nested under, any prefix?
+
+    Both tools store config entries as repo-relative, ``/``-separated
+    prefixes; ``rel_path`` may arrive with OS separators.
+    """
+    norm = rel_path.replace(os.sep, "/")
+    for prefix in prefixes:
+        p = prefix.rstrip("/")
+        if norm == p or norm.startswith(p + "/"):
+            return True
+    return False
+
+
+def parse_python(
+    source: str, path: str, code: str
+) -> Tuple[Optional[ast.Module], Optional[Finding]]:
+    """Parse one source file under the shared failure contract.
+
+    Returns ``(tree, None)`` on success and ``(None, finding)`` on any
+    parse failure, where the finding carries ``fatal=True``: the file
+    cannot be audited at all, so the run's exit status must be 2 (a
+    broken input, distinct from exit 1's "checks ran and found
+    violations").  ``ValueError`` covers non-syntax rejections such as
+    NUL bytes, which ``ast.parse`` raises outside ``SyntaxError``.
+    """
+    try:
+        return ast.parse(source, filename=path), None
+    except SyntaxError as exc:
+        return None, Finding(
+            code=code,
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}",
+            fix_hint="fix the syntax error; AST-based checks need a "
+            "valid parse",
+            fatal=True,
+        )
+    except ValueError as exc:
+        return None, Finding(
+            code=code,
+            path=path,
+            line=1,
+            col=0,
+            message=f"file does not parse: {exc}",
+            fix_hint="the source is not valid Python text (e.g. embedded "
+            "NUL bytes); repair or exclude the file",
+            fatal=True,
+        )

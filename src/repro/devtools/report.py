@@ -1,11 +1,18 @@
-"""Renderers for reprolint findings: terminal text and machine JSON."""
+"""Renderers for devtools findings: terminal text and machine JSON.
+
+Shared by ``repro lint`` and ``repro audit`` -- both emit the same
+GCC-style text lines and the same JSON payload shape, differing only in
+the ``tool`` name stamped on the summary and the rule catalogue used to
+describe finding codes.  The defaults keep reprolint's original output
+byte-identical.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.devtools.rules import RULES, Finding
+from repro.devtools.rules import RULES, Finding, RuleSpec
 
 __all__ = ["render_text", "render_json", "summarize"]
 
@@ -18,7 +25,12 @@ def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
     return counts
 
 
-def render_text(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int = 0,
+    tool: str = "reprolint",
+) -> str:
     """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
     ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
     lines: List[str] = []
@@ -31,25 +43,33 @@ def render_text(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
         )
         lines.append("")
         lines.append(
-            f"reprolint: {len(findings)} finding(s) in "
+            f"{tool}: {len(findings)} finding(s) in "
             f"{len({f.path for f in findings})} file(s) "
             f"({files_checked} checked): {per_rule}"
         )
     else:
-        lines.append(f"reprolint: clean ({files_checked} file(s) checked)")
+        lines.append(f"{tool}: clean ({files_checked} file(s) checked)")
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    files_checked: int = 0,
+    tool: str = "reprolint",
+    catalog: Optional[Mapping[str, RuleSpec]] = None,
+) -> str:
     """Stable machine-readable output for CI annotation tooling."""
+    specs = RULES if catalog is None else catalog
     ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
     payload = {
         "version": 1,
+        "tool": tool,
         "files_checked": files_checked,
         "counts": summarize(findings),
         "rules": {
             code: {"title": spec.title, "rationale": spec.rationale}
-            for code, spec in sorted(RULES.items())
+            for code, spec in sorted(specs.items())
             if any(f.code == code for f in findings)
         },
         "findings": [f.as_dict() for f in ordered],

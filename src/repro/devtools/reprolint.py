@@ -7,7 +7,8 @@ and renders findings as text or JSON.  Invoked as::
     PYTHONPATH=src python -m repro lint src/repro
     PYTHONPATH=src python -m repro lint --format json src/repro/datasets
 
-Exit status: 0 clean, 1 findings, 2 usage/config errors.
+Exit status: 0 clean, 1 findings, 2 usage/config errors or unparseable
+source (the same contract ``repro audit`` follows).
 
 Path scoping
 ------------
@@ -31,13 +32,13 @@ is itself reported as REP000, so every exception is a documented one.
 from __future__ import annotations
 
 import argparse
-import ast
 import os
 import re
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.devtools.config import load_tool_section, parse_python, path_matches
 from repro.devtools.report import render_json, render_text
 from repro.devtools.rules import (
     Finding,
@@ -74,29 +75,21 @@ class LintConfig:
     rule_paths: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
     rule_exclude: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
 
-    def _matches(self, rel_path: str, prefixes: Sequence[str]) -> bool:
-        norm = rel_path.replace(os.sep, "/")
-        for prefix in prefixes:
-            p = prefix.rstrip("/")
-            if norm == p or norm.startswith(p + "/"):
-                return True
-        return False
-
     def codes_for(self, rel_path: str) -> Tuple[str, ...]:
         """The rule codes that apply to one file (repo-relative path)."""
         codes: List[str] = []
         for code in all_rule_codes():
             applies = self.rule_paths.get(code)
-            if applies and not self._matches(rel_path, applies):
+            if applies and not path_matches(rel_path, tuple(applies)):
                 continue
             excluded = self.rule_exclude.get(code)
-            if excluded and self._matches(rel_path, excluded):
+            if excluded and path_matches(rel_path, tuple(excluded)):
                 continue
             codes.append(code)
         return tuple(codes)
 
     def is_excluded(self, rel_path: str) -> bool:
-        return self._matches(rel_path, self.exclude)
+        return path_matches(rel_path, self.exclude)
 
 
 #: The repo's scoping, mirrored from ``[tool.reprolint]`` in
@@ -132,21 +125,9 @@ def load_config(pyproject_path: Optional[str] = None) -> LintConfig:
     On Python < 3.11 (no ``tomllib``) the builtin :data:`DEFAULT_CONFIG`
     is used; the two are kept in sync by ``tests/test_reprolint.py``.
     """
-    if pyproject_path is None:
-        candidate = os.path.join(os.getcwd(), "pyproject.toml")
-        if not os.path.isfile(candidate):
-            return DEFAULT_CONFIG
-        pyproject_path = candidate
-    try:
-        import tomllib
-    except ImportError:  # Python < 3.11
-        return DEFAULT_CONFIG
-    with open(pyproject_path, "rb") as fh:
-        data = tomllib.load(fh)
-    section = data.get("tool", {}).get("reprolint")
+    section, root = load_tool_section("reprolint", pyproject_path)
     if section is None:
         return DEFAULT_CONFIG
-    root = os.path.dirname(os.path.abspath(pyproject_path))
     return LintConfig(
         root=root,
         paths=tuple(section.get("paths", DEFAULT_CONFIG.paths)),
@@ -250,20 +231,9 @@ def lint_source(
     codes: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
     """Lint one source string with the given rules (default: all)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                code="REP000",
-                path=path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"file does not parse: {exc.msg}",
-                fix_hint="fix the syntax error; reprolint checks need a "
-                "valid AST",
-            )
-        ]
+    tree, parse_error = parse_python(source, path, "REP000")
+    if tree is None:
+        return [parse_error] if parse_error is not None else []
     source_lines = tuple(source.splitlines())
     ctx = RuleContext(path=path, tree=tree, source_lines=source_lines)
     findings: List[Finding] = []
@@ -418,6 +388,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     renderer = render_json if args.format == "json" else render_text
     print(renderer(findings, files_checked=files_checked))
+    if any(f.fatal for f in findings):
+        return 2
     return 1 if findings else 0
 
 

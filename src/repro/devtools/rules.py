@@ -52,7 +52,12 @@ __all__ = ["Finding", "RuleSpec", "RULES", "run_rule", "all_rule_codes"]
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``fatal`` marks findings that mean the check itself could not run
+    (an unparseable file, a missing lockfile): the CLIs report those
+    with exit status 2 instead of 1, per the shared exit contract.
+    """
 
     code: str
     path: str
@@ -60,6 +65,7 @@ class Finding:
     col: int
     message: str
     fix_hint: str
+    fatal: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -69,6 +75,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "fix_hint": self.fix_hint,
+            "fatal": self.fatal,
         }
 
 

@@ -1,0 +1,38 @@
+"""Filesystem durability and naming helpers shared across layers.
+
+Both checkpoint stores -- the campaign shard journal
+(:mod:`repro.measure.checkpoint`) and the stage store
+(:mod:`repro.core.stages`) -- follow the same write discipline:
+write-to-temp, fsync, atomic rename, fsync the directory.  The two
+helpers that discipline needs live here, at the bottom of the layer
+stack next to :mod:`repro.errors`, so neither store has to reach across
+layers (or duplicate the code) to get them.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Union
+
+__all__ = ["fsync_dir", "safe_name"]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a directory so a rename within it is durable (best effort)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def safe_name(label: str, fallback: str) -> str:
+    """``vpi:google`` -> ``vpi_google`` (filesystem-safe, collision-poor)."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", label) or fallback

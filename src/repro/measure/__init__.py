@@ -31,12 +31,12 @@ from repro.measure.metrics import (
 from repro.measure.ping import Pinger
 from repro.measure.reachability import PublicVantagePoint
 from repro.measure.sink import (
-    CallbackSink,
     CollectorSink,
-    FanoutSink,
+    EventSink,
+    FanoutEvents,
     ProbeSink,
     StatsSink,
-    as_sink,
+    as_event_sink,
 )
 from repro.measure.traceroute import (
     GAP_LIMIT,
@@ -48,14 +48,14 @@ from repro.measure.traceroute import (
 
 __all__ = [
     "AliasResolver",
-    "CallbackSink",
     "CampaignCheckpoint",
     "CampaignProgress",
     "CampaignStats",
     "CheckpointStore",
     "CloudMembership",
     "CollectorSink",
-    "FanoutSink",
+    "EventSink",
+    "FanoutEvents",
     "FaultPlan",
     "GAP_LIMIT",
     "InjectedWorkerCrash",
@@ -75,7 +75,7 @@ __all__ = [
     "TraceHop",
     "Traceroute",
     "TracerouteEngine",
-    "as_sink",
+    "as_event_sink",
     "partition_targets",
     "plan_shards",
     "vpi_target_pool",

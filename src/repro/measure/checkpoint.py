@@ -22,16 +22,12 @@ from __future__ import annotations
 
 import json
 import os
-import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.fsutil import fsync_dir, safe_name
+
 _FORMAT_VERSION = 1
-
-
-def _safe_filename(label: str) -> str:
-    """``vpi:google`` -> ``vpi_google`` (filesystem-safe, collision-poor)."""
-    return re.sub(r"[^A-Za-z0-9_.-]", "_", label) or "campaign"
 
 
 class CampaignCheckpoint:
@@ -151,21 +147,7 @@ class CampaignCheckpoint:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
-        _fsync_dir(self.path.parent)
-
-
-def _fsync_dir(path: Path) -> None:
-    """Durably record a rename in its directory (best effort)."""
-    try:
-        fd = os.open(str(path), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+        fsync_dir(self.path.parent)
 
 
 class CheckpointStore:
@@ -183,7 +165,7 @@ class CheckpointStore:
         self._open: List[CampaignCheckpoint] = []
 
     def campaign(self, label: str, fingerprint: str) -> CampaignCheckpoint:
-        path = self.root / (_safe_filename(label) + ".jsonl")
+        path = self.root / (safe_name(label, "campaign") + ".jsonl")
         checkpoint = CampaignCheckpoint(path, fingerprint, resume=self.resume)
         self._open.append(checkpoint)
         return checkpoint

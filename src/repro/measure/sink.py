@@ -17,14 +17,15 @@ needs; :class:`FanoutEvents` composes sinks; :func:`as_event_sink`
 coerces the historical shapes (a :class:`ProbeSink`, a bare
 ``Callable[[Traceroute], None]``) without churn at the call sites.
 
-The PR 1 surface -- :func:`as_sink`, :class:`FanoutSink`,
-:class:`CallbackSink` -- still works but is deprecated; new code should
-subclass :class:`EventSink`.
+The PR 1 compatibility shims (``as_sink``, ``FanoutSink``,
+``CallbackSink``), deprecated since the event-sink unification, are
+gone: :func:`as_event_sink` / :class:`FanoutEvents` are the one way to
+coerce and compose sinks, and the API lockfile records the slimmer
+surface.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -165,70 +166,11 @@ def as_event_sink(obj: SinkLike) -> EventSink:
     raise TypeError(f"not an EventSink, ProbeSink, or callable: {obj!r}")
 
 
-# ----------------------------------------------------------------------
-# PR 1 compatibility surface (deprecated).
-# ----------------------------------------------------------------------
-
-
-def as_sink(obj: Union[ProbeSink, Callable[[Traceroute], None]]) -> ProbeSink:
-    """Deprecated: coerce ``obj`` to a :class:`ProbeSink`.
-
-    New code should pass sinks to campaign APIs directly (they coerce
-    via :func:`as_event_sink`) or subclass :class:`EventSink`.
-    """
-    warnings.warn(
-        "as_sink() is deprecated; campaign APIs accept EventSink, "
-        "ProbeSink, or a bare callable directly (see as_event_sink)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _coerce_probe_sink(obj)
-
-
-def _coerce_probe_sink(
-    obj: Union[ProbeSink, Callable[[Traceroute], None]]
-) -> ProbeSink:
-    if isinstance(obj, ProbeSink):
-        return obj
-    if callable(obj):
-        return CallbackSink(obj)
-    raise TypeError(f"not a ProbeSink or callable: {obj!r}")
-
-
 def close_sink(sink: ProbeSink) -> None:
     """Invoke the optional ``close()`` hook, if the sink has one."""
     close = getattr(sink, "close", None)
     if close is not None:
         close()
-
-
-class CallbackSink:
-    """Adapter giving a bare ``Callable[[Traceroute], None]`` the sink API."""
-
-    def __init__(self, fn: Callable[[Traceroute], None]) -> None:
-        self.fn = fn
-
-    def consume(self, trace: Traceroute) -> None:
-        self.fn(trace)
-
-
-class FanoutSink:
-    """Deprecated: deliver every trace to several probe sinks, in order.
-
-    :class:`FanoutEvents` is the unified replacement; this class remains
-    for PR 1 call sites that compose plain probe sinks.
-    """
-
-    def __init__(self, *sinks: Union[ProbeSink, Callable[[Traceroute], None]]) -> None:
-        self.sinks: List[ProbeSink] = [_coerce_probe_sink(s) for s in sinks]
-
-    def consume(self, trace: Traceroute) -> None:
-        for sink in self.sinks:
-            sink.consume(trace)
-
-    def close(self) -> None:
-        for sink in self.sinks:
-            close_sink(sink)
 
 
 class StatsSink:

@@ -11,7 +11,7 @@ and the inference pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 ASN = int
 
@@ -45,6 +45,15 @@ CLOUD_ORG_IDS: Dict[str, str] = {
     "ibm": "ORG-IBM",
     "oracle": "ORG-ORCL",
 }
+
+#: Synthetic transit backbone ASes.  The first also carries the other
+#: clouds' fallback paths; clients buy transit from one or two of them,
+#: which gives bdrmap's thirdparty heuristic conflicting answers across
+#: regions (§8) exactly as mixed provider sets do in the wild.  Part of
+#: the ASN vocabulary (not the world builder) because the synthetic BGP
+#: and relationship datasets key their transit edges off the same ASNs.
+FALLBACK_TRANSIT_ASN: ASN = 64500
+TRANSIT_ASNS: Tuple[ASN, ...] = (64500, 64501, 64502)
 
 
 class ASKind:

@@ -21,7 +21,9 @@ from repro.net.asn import (
     ASInfo,
     ASRegistry,
     CLOUD_ORG_IDS,
+    FALLBACK_TRANSIT_ASN,
     OTHER_CLOUD_ASNS,
+    TRANSIT_ASNS,
 )
 from repro.net.geo import MetroCatalog
 from repro.net.ip import (
@@ -69,13 +71,6 @@ from repro.world.profiles import (
     group_is_virtual,
 )
 from repro.world.topology import ClientASBuilder
-
-#: Synthetic transit backbone ASes.  The first also carries the other
-#: clouds' fallback paths; clients buy transit from one or two of them,
-#: which gives bdrmap's thirdparty heuristic conflicting answers across
-#: regions (§8) exactly as mixed provider sets do in the wild.
-FALLBACK_TRANSIT_ASN = 64500
-TRANSIT_ASNS = (64500, 64501, 64502)
 
 
 @dataclass

@@ -1,0 +1,3 @@
+"""Fixture: a healthy sibling of the broken module."""
+
+OK = True

@@ -1,0 +1,7 @@
+"""Fixture: half of a runtime import cycle."""
+
+from pkg.b import helper_b
+
+
+def helper_a():
+    return helper_b()

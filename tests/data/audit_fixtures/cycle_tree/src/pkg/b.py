@@ -1,0 +1,7 @@
+"""Fixture: the other half of the runtime cycle."""
+
+from pkg.a import helper_a
+
+
+def helper_b():
+    return helper_a()

@@ -1,0 +1,10 @@
+"""Fixture: couples to a only for annotations -- no runtime cycle."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from pkg.a import helper_a
+
+
+def helper_c(fn: "helper_a"):
+    return fn

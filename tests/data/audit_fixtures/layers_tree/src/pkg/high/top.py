@@ -1,0 +1,6 @@
+"""Fixture: top layer; a declared edge plus a layer-skipping one."""
+
+from pkg.mid.middle import MIDDLE
+from pkg.low.base import VALUE
+
+TOP = MIDDLE + VALUE

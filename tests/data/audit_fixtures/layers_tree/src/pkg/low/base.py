@@ -1,0 +1,3 @@
+"""Fixture: bottom layer; imports nothing."""
+
+VALUE = 1

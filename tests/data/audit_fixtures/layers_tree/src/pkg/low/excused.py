@@ -1,0 +1,6 @@
+"""Fixture: the same forbidden edge, justified and not."""
+
+from pkg.high.top import TOP  # reproaudit: allow-edge -- fixture: exercising the justified escape hatch
+from pkg.mid.middle import MIDDLE  # reproaudit: allow-edge
+
+EXCUSED = TOP + MIDDLE

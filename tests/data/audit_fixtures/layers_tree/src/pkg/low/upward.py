@@ -1,0 +1,5 @@
+"""Fixture: a forbidden upward edge (low -> high)."""
+
+from pkg.high.top import TOP
+
+UPWARD = TOP

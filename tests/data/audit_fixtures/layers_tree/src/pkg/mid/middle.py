@@ -1,0 +1,5 @@
+"""Fixture: middle layer; the one declared edge (mid -> low)."""
+
+from pkg.low.base import VALUE
+
+MIDDLE = VALUE + 1

@@ -202,7 +202,7 @@ class TestRelationships:
 
     def test_transit_edges_for_every_client(self, tiny_world):
         rel = relationships_from_world(tiny_world)
-        from repro.world.build import TRANSIT_ASNS
+        from repro.net.asn import TRANSIT_ASNS
 
         for asn in tiny_world.client_ases:
             providers = rel.providers_of(asn)

@@ -9,12 +9,14 @@ from repro.core.config import StudyConfig
 from repro.core.pipeline import AmazonPeeringStudy
 from repro.measure.campaign import CampaignStats, CloudMembership
 from repro.measure.sink import (
-    CallbackSink,
+    CallbackEvents,
     CollectorSink,
-    FanoutSink,
+    EventSink,
+    FanoutEvents,
     ProbeSink,
+    ProbeSinkEvents,
     StatsSink,
-    as_sink,
+    as_event_sink,
     close_sink,
 )
 from repro.measure.traceroute import StopReason, TraceHop, Traceroute
@@ -30,31 +32,34 @@ def _trace(region="use1", dst=0x0B000001, completed=True):
     )
 
 
-class TestAsSink:
-    def test_wraps_callable_and_warns(self):
+class TestAsEventSink:
+    def test_wraps_callable(self):
         seen = []
-        with pytest.warns(DeprecationWarning, match="as_sink"):
-            sink = as_sink(seen.append)
-        assert isinstance(sink, CallbackSink)
-        sink.consume(_trace())
+        sink = as_event_sink(seen.append)
+        assert isinstance(sink, CallbackEvents)
+        sink.on_probe(_trace())
         assert len(seen) == 1
 
-    def test_passes_sinks_through(self):
-        sink = CollectorSink()
-        with pytest.warns(DeprecationWarning):
-            assert as_sink(sink) is sink
+    def test_wraps_probe_sink(self):
+        collector = CollectorSink()
+        sink = as_event_sink(collector)
+        assert isinstance(sink, ProbeSinkEvents)
+        sink.on_probe(_trace())
+        assert len(collector.traces) == 1
+
+    def test_passes_event_sinks_through(self):
+        sink = FanoutEvents()
+        assert as_event_sink(sink) is sink
 
     def test_rejects_non_sink(self):
-        with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
-            as_sink(42)
+        with pytest.raises(TypeError):
+            as_event_sink(42)
 
-    def test_fanout_sink_does_not_warn(self, recwarn):
-        # The deprecated shim warns, but the internal coercion FanoutSink
-        # uses must not spam warnings at legacy composition sites.
-        FanoutSink(CollectorSink(), lambda t: None)
-        assert not [
-            w for w in recwarn.list if w.category is DeprecationWarning
-        ]
+    def test_deprecated_shims_are_gone(self):
+        import repro.measure.sink as sink_mod
+
+        for name in ("as_sink", "FanoutSink", "CallbackSink"):
+            assert not hasattr(sink_mod, name)
 
     def test_observatory_is_a_probe_sink(self):
         # Structural conformance is all that matters for the executor.
@@ -63,19 +68,18 @@ class TestAsSink:
 
     def test_protocol_runtime_checkable(self):
         assert isinstance(CollectorSink(), ProbeSink)
-        assert isinstance(CallbackSink(lambda t: None), ProbeSink)
         assert not isinstance(object(), ProbeSink)
 
 
 class TestFanout:
     def test_fanout_delivers_in_order(self):
         order = []
-        fan = FanoutSink(
+        fan = FanoutEvents(
             lambda t: order.append("a"),
             lambda t: order.append("b"),
         )
-        fan.consume(_trace())
-        fan.consume(_trace())
+        fan.on_probe(_trace())
+        fan.on_probe(_trace())
         assert order == ["a", "b", "a", "b"]
 
     def test_fanout_close_propagates(self):
@@ -89,9 +93,16 @@ class TestFanout:
                 self.closed = True
 
         closeable = Closeable()
-        fan = FanoutSink(closeable, lambda t: None)
-        close_sink(fan)
+        fan = FanoutEvents(closeable, lambda t: None)
+        fan.close()
         assert closeable.closed
+
+    def test_fanout_drops_none_entries(self):
+        fan = FanoutEvents(None, CollectorSink(), None)
+        assert len(fan.sinks) == 1
+
+    def test_fanout_is_an_event_sink(self):
+        assert isinstance(FanoutEvents(), EventSink)
 
     def test_close_sink_tolerates_closeless_sinks(self):
         close_sink(CollectorSink())  # no close(): must be a no-op
