@@ -24,11 +24,13 @@ def _render_resilience(result: StudyResult, add) -> None:
     fault_plan = result.config.fault_plan if result.config else None
     if metrics is None:
         return
+    adaptive = result.resilience is not None
     eventful = (
         metrics.total_failures
         or metrics.total_quarantined
         or metrics.total_resumed
         or metrics.degraded
+        or adaptive
     )
     if fault_plan is None and not eventful:
         return
@@ -56,6 +58,57 @@ def _render_resilience(result: StudyResult, add) -> None:
             add(
                 f"    quarantined shard {shard.index} ({shard.region}, "
                 f"{shard.probes} probes): {shard.error}"
+            )
+    # Absolute completed counts per round: the CI chaos job compares
+    # these between adaptive and non-adaptive runs of one fault plan.
+    for label, stats in (
+        ("round1", result.round1_stats),
+        ("round2", result.round2_stats),
+    ):
+        if stats is None:
+            continue
+        expected = stats.probes + stats.lost_probes
+        add(
+            f"  {label} yield: completed {stats.completed} of "
+            f"{expected} expected probes "
+            f"({stats.recovered_probes} recovered, "
+            f"{stats.lost_probes} lost)"
+        )
+    resilience = result.resilience
+    if resilience is not None:
+        add("  adaptive control plane:")
+        add(
+            f"    deferred {resilience.deferred} probe(s) behind open "
+            f"breakers; {resilience.quarantine_lost} probe(s) lost to "
+            f"quarantine"
+        )
+        add(
+            f"    recovery: {resilience.rounds_run} round(s), "
+            f"{resilience.recovered} recovered "
+            f"({resilience.fallback_recovered} via salt-0 fallback), "
+            f"{resilience.trial_probes} trial probe(s), "
+            f"{resilience.still_lost} still lost"
+        )
+        if resilience.recovered_by_label:
+            add(
+                "    recovered by campaign: "
+                + ", ".join(
+                    f"{label}={count}"
+                    for label, count in resilience.recovered_by_label
+                )
+            )
+        for snap in resilience.breakers:
+            if not snap.events:
+                continue
+            history = " -> ".join(
+                f"{event.to_state}@{event.at_outcome}"
+                for event in snap.events
+            )
+            add(
+                f"    breaker {snap.cloud}/{snap.region}: {snap.state} "
+                f"({snap.failures}/{snap.outcomes} failed outcomes, "
+                f"{snap.rate_limited} rate-limit fingerprints; "
+                f"closed -> {history})"
             )
     if metrics.degraded:
         add(
@@ -251,6 +304,8 @@ def _salvage_order(result: StudyResult) -> List[str]:
         skip.add("crossval")
     if config is not None and not config.run_vpi:
         skip.add("vpi")
+    if config is None or not config.adaptive:
+        skip.add("recovery")
     return [s for s in STAGE_ORDER if s not in skip]
 
 

@@ -15,6 +15,10 @@ a :class:`~repro.bench.report.BenchReport`:
   with retries (digest must still match the clean study).
 * ``study-dirty`` -- the study over degraded datasets (its *own*
   digest, stable run-to-run, different from the clean one).
+* ``adaptive`` -- the clean study with the adaptive resilience control
+  plane armed: the baseline pins its governor/breaker counters at zero
+  and its digest to the clean study's, so arming adaptation on a
+  healthy fabric provably changes nothing.
 
 Workload counters and digests are deterministic functions of
 ``(scenario, params)``; only the ``timings`` section varies between
@@ -82,6 +86,8 @@ class BenchScenario:
     fault_plan: Optional[str] = None
     #: ``DataFaultPlan.parse`` spec for degraded dataset views.
     data_fault_plan: Optional[str] = None
+    #: arm the adaptive resilience control plane (DESIGN.md 6.6).
+    adaptive: bool = False
 
 
 _FAULTY_SPEC = "crash=0.25,crash-attempts=1,slow=0.05,slow-seconds=0.01,seed=5"
@@ -120,6 +126,13 @@ SCENARIOS: Dict[str, BenchScenario] = {
             "IXP); digest differs from clean but is stable run-to-run",
             data_fault_plan=_DIRTY_SPEC,
         ),
+        BenchScenario(
+            "adaptive",
+            "clean study with the adaptive control plane armed: breakers "
+            "must stay closed, the governor must defer nothing, and the "
+            "digest must match the clean serial study",
+            adaptive=True,
+        ),
     )
 }
 
@@ -156,6 +169,7 @@ def _scenario_params(
     merged["workers"] = scenario.workers
     merged["fault_plan"] = scenario.fault_plan
     merged["data_fault_plan"] = scenario.data_fault_plan
+    merged["adaptive"] = scenario.adaptive
     return merged
 
 
@@ -180,6 +194,7 @@ def _run_study(scenario: BenchScenario, params: BenchParams) -> BenchReport:
             else None
         ),
         retry_backoff_s=0.0,
+        adaptive=scenario.adaptive,
     )
     study = AmazonPeeringStudy(world, config)
     result = study.run()
@@ -210,6 +225,23 @@ def _run_study(scenario: BenchScenario, params: BenchParams) -> BenchReport:
         "lpm_lookups": lpm_lookups,
         "lpm_probes": lpm_probes,
     }
+    if scenario.adaptive:
+        # Pin the control plane's inertness on a clean run: any nonzero
+        # value here means a breaker opened (or a probe was re-paced)
+        # with nothing injected -- a false positive the baseline gates.
+        resilience = result.resilience
+        counters["governor_deferred"] = (
+            resilience.deferred if resilience else 0
+        )
+        counters["recovered_probes"] = (
+            resilience.recovered if resilience else 0
+        )
+        counters["recovery_still_lost"] = (
+            resilience.still_lost if resilience else 0
+        )
+        counters["breaker_transitions"] = (
+            len(resilience.breaker_events) if resilience else 0
+        )
     total_annotations = cache_hits + cache_misses
     efficiency: Dict[str, float] = {
         "lpm_probes_per_lookup": (

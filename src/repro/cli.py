@@ -94,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="STAGE", choices=sorted(STAGE_ORDER),
                         help="chaos hook: SIGKILL this process right after "
                              "STAGE completes (for crash-resume testing)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="engage the adaptive control plane: per-region "
+                             "circuit breakers over a deterministic health "
+                             "ledger, probe deferral behind open breakers, "
+                             "and a bounded re-probe recovery stage "
+                             "(DESIGN.md 6.6); off = historical digest")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        metavar="N",
+                        help="consecutive rate-limit fingerprints that open "
+                             "a region's breaker (default 3)")
+    parser.add_argument("--recovery-rounds", type=int, default=1,
+                        metavar="N",
+                        help="bounded re-probe rounds after round 2 "
+                             "(default 1; 0 = defer-only, deferred probes "
+                             "heal via the salt-0 fallback)")
     parser.add_argument("--data-fault-plan", type=str, default=None,
                         metavar="SPEC",
                         help="degrade the dataset views deterministically, e.g. "
@@ -158,6 +173,9 @@ def _config_defaults(config: StudyConfig) -> Dict[str, Any]:
         "deadline": config.deadline_s,
         "retry_budget": config.retry_budget,
         "hung_shard_after": config.hung_shard_after_s,
+        "adaptive": config.adaptive,
+        "breaker_threshold": config.breaker_threshold,
+        "recovery_rounds": config.recovery_rounds,
         "data_fault_plan": (
             config.data_fault_plan.to_spec() if config.data_fault_plan else None
         ),
@@ -324,6 +342,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             deadline_s=args.deadline,
             retry_budget=args.retry_budget,
             hung_shard_after_s=args.hung_shard_after,
+            adaptive=args.adaptive,
+            breaker_threshold=args.breaker_threshold,
+            recovery_rounds=args.recovery_rounds,
             data_fault_plan=data_fault_plan,
             min_confidence=args.min_confidence,
             shared_annotation_cache=not args.no_shared_annotation_cache,

@@ -64,6 +64,17 @@ class StudyConfig:
     #: re-probing them (requires ``checkpoint_dir``).
     resume: bool = False
 
+    # --- adaptive resilience (DESIGN.md §6.6) ---------------------------
+    #: engage the health ledger + circuit breakers + probe governor and
+    #: append the bounded re-probe recovery stage.  Off by default: the
+    #: non-adaptive digest is bit-identical to the historical golden.
+    adaptive: bool = False
+    #: consecutive rate-limit fingerprints that trip a region's breaker.
+    breaker_threshold: int = 3
+    #: bounded re-probe rounds appended after round 2 (0 = defer-only;
+    #: deferred probes then heal via the salt-0 fallback).
+    recovery_rounds: int = 1
+
     # --- supervision ----------------------------------------------------
     #: wall-clock budget for the whole study; exceeding it raises a
     #: *resumable* interrupt (DeadlineExceeded), never a failure.
@@ -139,6 +150,14 @@ class StudyConfig:
         if not 0.0 <= self.min_confidence <= 1.0:
             raise ValueError(
                 f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.recovery_rounds < 0:
+            raise ValueError(
+                f"recovery_rounds must be >= 0, got {self.recovery_rounds}"
             )
 
     # ------------------------------------------------------------------

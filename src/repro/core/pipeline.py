@@ -45,11 +45,13 @@ from repro.datasets import (
 )
 from repro.datasets.validate import DatasetValidationReport, validate_datasets
 from repro.datasets.whois import WhoisRegistry
+from repro.measure.adapt import ProbeGovernor, run_recovery
 from repro.measure.alias import AliasResolver
-from repro.measure.campaign import ProbeCampaign
+from repro.measure.campaign import CampaignStats, ProbeCampaign
 from repro.measure.checkpoint import CheckpointStore
 from repro.measure.dnslookup import ReverseDNS
 from repro.measure.executor import RetryPolicy
+from repro.measure.health import HealthLedger
 from repro.measure.metrics import CampaignProgress, ProgressCallback, StudyMetrics
 from repro.measure.sink import (
     EventSink,
@@ -97,6 +99,7 @@ class _RunContext:
         worker_spans: bool,
         campaign: ProbeCampaign,
         events: Optional[EventSink],
+        governor: Optional[ProbeGovernor] = None,
     ) -> None:
         self.result = result
         self.metrics = metrics
@@ -104,6 +107,8 @@ class _RunContext:
         self.worker_spans = worker_spans
         self.campaign = campaign
         self.events = events
+        #: adaptive control plane (None unless ``config.adaptive``).
+        self.governor = governor
         #: set by the validate stage; consumed by the quality stage.
         self.validation: Optional[DatasetValidationReport] = None
 
@@ -278,6 +283,12 @@ class AmazonPeeringStudy:
             _Stage("round1", True, self._compute_round1, self._apply_round1),
             _Stage("round2", True, self._compute_round2, self._apply_round2),
             _Stage(
+                "recovery",
+                self.config.adaptive,
+                self._compute_recovery,
+                self._apply_recovery,
+            ),
+            _Stage(
                 "heuristics", True, self._compute_heuristics, self._apply_heuristics
             ),
             _Stage("alias", True, self._compute_alias, self._apply_alias),
@@ -297,6 +308,12 @@ class AmazonPeeringStudy:
     def _make_context(
         self, result: StudyResult, metrics: StudyMetrics, worker_spans: bool
     ) -> _RunContext:
+        governor: Optional[ProbeGovernor] = None
+        if self.config.adaptive:
+            governor = ProbeGovernor(
+                HealthLedger(threshold=self.config.breaker_threshold),
+                cloud="amazon",
+            )
         campaign = ProbeCampaign(
             self.world,
             self.engine,
@@ -304,6 +321,7 @@ class AmazonPeeringStudy:
             faults=self.config.fault_plan,
             retry=self.retry_policy,
             supervisor=self.supervisor,
+            governor=governor,
         )
         return _RunContext(
             result=result,
@@ -311,6 +329,7 @@ class AmazonPeeringStudy:
             worker_spans=worker_spans,
             campaign=campaign,
             events=self.events,
+            governor=governor,
         )
 
     def run(self) -> StudyResult:
@@ -389,7 +408,7 @@ class AmazonPeeringStudy:
             interrupt_span.close()
             raise
         finally:
-            self._close_study_span(study_span, metrics)
+            self._close_study_span(study_span, metrics, ctx)
             # The legacy timers dict is a snapshot of the stage-span view.
             result.runtime_seconds = metrics.stages
             if config.trace_out:
@@ -453,7 +472,12 @@ class AmazonPeeringStudy:
         result.runtime_seconds = metrics.stages
         return result, recovered
 
-    def _close_study_span(self, study_span: Any, metrics: StudyMetrics) -> None:
+    def _close_study_span(
+        self,
+        study_span: Any,
+        metrics: StudyMetrics,
+        ctx: Optional[_RunContext] = None,
+    ) -> None:
         # Annotation-layer counters ride on the study span: cache
         # behaviour, mean fallback-chain depth, and how often sources
         # disagreed.  Observability only -- outside the digest.
@@ -488,6 +512,22 @@ class AmazonPeeringStudy:
         study_span.set(
             "low_confidence_inferences", metrics.low_confidence_inferences
         )
+        if ctx is not None and ctx.governor is not None:
+            # Adaptive control-plane counters (DESIGN.md §6.6): breaker
+            # transitions fold from the ledger's event log, governor
+            # decisions from its own tallies.  Digest-neutral.
+            counts = ctx.governor.ledger.counts()
+            study_span.set("breaker_opens", counts.opens)
+            study_span.set("breaker_half_opens", counts.half_opens)
+            study_span.set("breaker_closes", counts.closes)
+            study_span.set("breaker_reopens", counts.reopens)
+            study_span.set("governor_admitted", ctx.governor.admitted)
+            study_span.set("governor_deferred", ctx.governor.deferred)
+            study_span.set("governor_quarantined", ctx.governor.quarantined)
+            resilience = ctx.result.resilience
+            if resilience is not None:
+                study_span.set("recovered_probes", resilience.recovered)
+                study_span.set("recovery_still_lost", resilience.still_lost)
         study_span.close()
 
     # ------------------------------------------------------------------
@@ -531,6 +571,9 @@ class AmazonPeeringStudy:
             "peer_ases_round1": len(
                 self._peer_ases(r1_cbis, self.annotator_r1)
             ),
+            "adaptive": (
+                ctx.governor.state_dict() if ctx.governor is not None else None
+            ),
         }
 
     def _apply_round1(
@@ -538,6 +581,11 @@ class AmazonPeeringStudy:
     ) -> None:
         if resumed:
             self.observatory.load_state(payload["observatory"])
+            if (
+                ctx.governor is not None
+                and payload.get("adaptive") is not None
+            ):
+                ctx.governor.load_state(payload["adaptive"])
         result = ctx.result
         result.round1_stats = payload["stats"]
         result.table1.extend(payload["table1"])
@@ -568,6 +616,9 @@ class AmazonPeeringStudy:
             "peer_ases_round2": len(
                 self._peer_ases(e_cbis, self.annotator_r2)
             ),
+            "adaptive": (
+                ctx.governor.state_dict() if ctx.governor is not None else None
+            ),
         }
 
     def _apply_round2(
@@ -578,10 +629,61 @@ class AmazonPeeringStudy:
             # The restored state says round "r2"; point the live
             # annotator at the round-2 snapshot to match.
             self.observatory.start_round("r2", self.annotator_r2)
+            if (
+                ctx.governor is not None
+                and payload.get("adaptive") is not None
+            ):
+                ctx.governor.load_state(payload["adaptive"])
         result = ctx.result
         result.round2_stats = payload["stats"]
         result.table1.extend(payload["table1"])
         result.peer_ases_round2 = payload["peer_ases_round2"]
+
+    def _compute_recovery(self, ctx: _RunContext) -> Dict[str, Any]:
+        # DESIGN.md §6.6: the bounded re-probe round.  Serial in the
+        # parent -- recovery never shards, so its probe order (and with
+        # it the digest) is identical at any worker count.  Recovered
+        # traces stream into the observatory under the current round
+        # ("r2") and heal the campaign stats they were deferred from.
+        assert ctx.governor is not None  # stage gated on config.adaptive
+        stats_by_label: Dict[str, CampaignStats] = {}
+        if ctx.result.round1_stats is not None:
+            stats_by_label["round1"] = ctx.result.round1_stats
+        if ctx.result.round2_stats is not None:
+            stats_by_label["round2"] = ctx.result.round2_stats
+        events = as_event_sink(ctx.campaign_sink(self.observatory))
+        try:
+            report = run_recovery(
+                ctx.governor,
+                self.engine,
+                ctx.campaign.membership,
+                stats_by_label,
+                events,
+                rounds=self.config.recovery_rounds,
+                supervisor=self.supervisor,
+                tracer=ctx.tracer,
+            )
+        finally:
+            events.close()
+        return {
+            "round1_stats": ctx.result.round1_stats,
+            "round2_stats": ctx.result.round2_stats,
+            "observatory": self.observatory.state_dict(),
+            "report": report,
+        }
+
+    def _apply_recovery(
+        self, ctx: _RunContext, payload: Dict[str, Any], resumed: bool
+    ) -> None:
+        if resumed:
+            self.observatory.load_state(payload["observatory"])
+            self.observatory.start_round("r2", self.annotator_r2)
+        result = ctx.result
+        # Recovery heals round stats in place; on the resume path the
+        # healed copies come from the payload instead.
+        result.round1_stats = payload["round1_stats"]
+        result.round2_stats = payload["round2_stats"]
+        result.resilience = payload["report"]
 
     def _compute_heuristics(self, ctx: _RunContext) -> Dict[str, Any]:
         # §5.1: heuristics.

@@ -18,6 +18,7 @@ from repro.core.grouping import GroupingResult
 from repro.core.heuristics import HeuristicOutcome
 from repro.core.pinning import PinningResult
 from repro.core.vpi import VPIDetectionResult
+from repro.measure.adapt import RecoveryReport
 from repro.measure.campaign import CampaignStats
 from repro.measure.metrics import StudyMetrics
 
@@ -132,6 +133,11 @@ class StudyResult:
     #: dataset dirt, annotation confidence, and flagged inferences.
     #: Excluded from ``digest_inputs`` by design (observability only).
     data_quality: Optional[DataQualityReport] = None
+    #: what the adaptive control plane did: breaker history, deferrals,
+    #: and recovery yield (None unless ``config.adaptive``).  Excluded
+    #: from ``digest_inputs`` -- the *healed stats* are the content; the
+    #: control-plane ledger is observability.
+    resilience: Optional[RecoveryReport] = None
 
     # ------------------------------------------------------------------
 

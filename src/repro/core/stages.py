@@ -63,7 +63,9 @@ from repro.core.results import DataQualityReport, InterfaceCensus
 from repro.core.vpi import VPIDetectionResult
 from repro.datasets.datafaults import DataFaultPlan
 from repro.datasets.validate import DatasetValidationReport
+from repro.measure.adapt import DeferredTarget, RecoveryReport
 from repro.measure.campaign import CampaignStats
+from repro.measure.health import BreakerEvent, BreakerSnapshot
 
 if TYPE_CHECKING:
     from repro.core.config import StudyConfig
@@ -75,6 +77,7 @@ STAGE_ORDER = (
     "validate",
     "round1",
     "round2",
+    "recovery",
     "heuristics",
     "alias",
     "pinning",
@@ -91,11 +94,14 @@ STAGE_ORDER = (
 _REGISTERED_TYPES: Tuple[Type[Any], ...] = (
     AliasOwnership,
     AnchorSet,
+    BreakerEvent,
+    BreakerSnapshot,
     CampaignStats,
     CrossValidationResult,
     DataFaultPlan,
     DataQualityReport,
     DatasetValidationReport,
+    DeferredTarget,
     FoldResult,
     GroupingResult,
     HeuristicOutcome,
@@ -105,6 +111,7 @@ _REGISTERED_TYPES: Tuple[Type[Any], ...] = (
     PeeringRecord,
     PinnedLocation,
     PinningResult,
+    RecoveryReport,
     RegionalAssignment,
     SegmentRecord,
     VerificationResult,
@@ -243,6 +250,9 @@ def study_fingerprint(
                 config.run_vpi,
                 config.run_crossval,
                 config.min_confidence,
+                config.adaptive,
+                config.breaker_threshold,
+                config.recovery_rounds,
                 fault_plan.probe_signature() if fault_plan else "clean",
                 data_plan.to_spec() if data_plan else "clean",
             )

@@ -112,6 +112,10 @@ DEFAULT_CONFIG = LintConfig(
         ),
         "REP004": ("src/repro/measure", "src/repro/core", "src/repro/obs"),
         "REP007": ("src/repro/measure", "src/repro/core"),
+        "REP008": (
+            "src/repro/measure/health.py",
+            "src/repro/measure/adapt.py",
+        ),
     },
     rule_exclude={
         "REP001": ("src/repro/net/rng.py",),
@@ -319,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "AST-based determinism & purity auditor for the repro tree "
-            "(rules REP001..REP007; see DESIGN.md 'Determinism contract')"
+            "(rules REP001..REP008; see DESIGN.md 'Determinism contract')"
         ),
     )
     parser.add_argument(

@@ -27,6 +27,10 @@ REP007   Broad exception handlers on measurement/inference paths must
          re-raise or classify into the ``repro.errors`` taxonomy;
          swallowing ``Exception`` hides failures from the supervisor's
          retry / quarantine / salvage ladder.
+REP008   Adaptive control decisions (circuit breakers, probe governor)
+         must fold from probe counts, never wall-clock reads -- even
+         the monotonic clocks REP004 exempts: a breaker keyed on
+         elapsed time trips differently on a slower machine.
 =======  ==============================================================
 """
 
@@ -816,6 +820,124 @@ def _check_rep007(ctx: RuleContext) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP008 -- clock reads feeding adaptive control decisions
+# ----------------------------------------------------------------------
+
+#: Every ``time.*`` callable that reads *any* clock.  REP008 is
+#: stricter than REP004 on purpose: on adaptive decision paths even the
+#: digest-exempt monotonic clocks are banned, because a breaker or
+#: governor that branches on elapsed time makes different decisions on
+#: a slower machine -- the exact worker-count/hardware dependence the
+#: health ledger's count-based contract rules out.
+_ANY_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+
+
+def _check_rep008(ctx: RuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[int, int]] = set()
+
+    # Names bound by ``from time import monotonic [as tick]``.
+    imported_clocks: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _ANY_CLOCK_TIME_ATTRS:
+                    imported_clocks.add(alias.asname or alias.name)
+
+    def clock_call(node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _ANY_CLOCK_TIME_ATTRS
+        ):
+            return f"time.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in imported_clocks:
+            return func.id
+        return None
+
+    # Syntactic taint, whole-file scope: any name ever assigned from an
+    # expression containing a clock read carries the clock with it.
+    tainted: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        value: Optional[ast.expr]
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        if value is None:
+            continue
+        source = next(
+            (c for sub in ast.walk(value) if (c := clock_call(sub))), None
+        )
+        if source is None:
+            continue
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    tainted[sub.id] = source
+
+    def flag(node: ast.AST, what: str, via: Optional[str] = None) -> None:
+        key = (node.lineno, node.col_offset)
+        if key in seen:
+            return
+        seen.add(key)
+        detail = f" via `{via}`" if via else ""
+        findings.append(
+            Finding(
+                code="REP008",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"clock read `{what}`{detail} feeds an adaptive "
+                    "control decision: breaker/governor transitions must "
+                    "fold from probe counts so any worker count (and any "
+                    "machine speed) reproduces the serial run"
+                ),
+                fix_hint="key the decision on outcome counts/streaks from "
+                "the health ledger; clocks may only feed timing metrics",
+            )
+        )
+
+    # Decision contexts: branch/loop/assert tests plus any comparison.
+    roots: List[ast.expr] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            roots.append(node.test)
+        elif isinstance(node, ast.Assert):
+            roots.append(node.test)
+        elif isinstance(node, ast.Compare):
+            roots.append(node)
+    for root in roots:
+        for sub in ast.walk(root):
+            source = clock_call(sub)
+            if source is not None:
+                flag(sub, source)
+            elif isinstance(sub, ast.Name) and sub.id in tainted:
+                flag(sub, tainted[sub.id], via=sub.id)
+    return findings
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -891,6 +1013,19 @@ RULES: Mapping[str, RuleSpec] = {
             ),
             fix_hint="re-raise or wrap via repro.errors.wrap_error",
             check=_check_rep007,
+        ),
+        RuleSpec(
+            code="REP008",
+            title="clock read feeding an adaptive control decision",
+            rationale=(
+                "the adaptive contract keys breaker and governor "
+                "transitions on probe counts so any worker count "
+                "reproduces the serial run; a decision fed by any clock "
+                "-- wall, monotonic, or perf -- varies with machine "
+                "speed and breaks that bit-for-bit guarantee"
+            ),
+            fix_hint="fold counts/streaks in the health ledger instead",
+            check=_check_rep008,
         ),
     )
 }

@@ -13,7 +13,16 @@ identical output either way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.net.ip import IPv4, IPv4IntervalSet, dot1_targets, is_private_or_shared
 from repro.measure.checkpoint import CheckpointStore
@@ -25,6 +34,9 @@ from repro.measure.supervise import StudySupervisor
 from repro.measure.traceroute import Traceroute, TracerouteEngine
 from repro.obs.span import TracerLike
 from repro.world.model import World
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (import cycle)
+    from repro.measure.adapt import ProbeGovernor
 
 #: Deprecated alias; campaign APIs now accept any :data:`SinkLike`
 #: (a ``ProbeSink`` or a bare callable).  Kept for old call sites.
@@ -42,6 +54,11 @@ class CampaignStats:
     #: probes never delivered because their shard was quarantined.
     lost_probes: int = 0
     quarantined_shards: int = 0
+    #: probes re-paced behind an open circuit breaker (adaptive runs
+    #: only); counted in ``lost_probes`` until recovery heals them.
+    deferred_probes: int = 0
+    #: probes the recovery round delivered after deferral/quarantine.
+    recovered_probes: int = 0
     by_region: Dict[str, int] = field(default_factory=dict)
 
     def record(self, trace: Traceroute, left_cloud: bool) -> None:
@@ -108,6 +125,7 @@ class ProbeCampaign:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         supervisor: Optional[StudySupervisor] = None,
+        governor: Optional["ProbeGovernor"] = None,
     ) -> None:
         self.world = world
         self.cloud = cloud
@@ -120,6 +138,9 @@ class ProbeCampaign:
         self.faults = faults if faults is not None else self.engine.faults
         self.retry = retry
         self.supervisor = supervisor
+        #: merge-time admit/defer hook for adaptive runs (one governor
+        #: spans round 1 and round 2, so breaker state carries over).
+        self.governor = governor
         self.membership = CloudMembership(world, cloud)
 
     # ------------------------------------------------------------------
@@ -162,6 +183,7 @@ class ProbeCampaign:
             faults=self.faults,
             retry=self.retry,
             supervisor=self.supervisor,
+            governor=self.governor,
         )
         executor.run(
             targets,

@@ -83,6 +83,7 @@ if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
     from multiprocessing.pool import AsyncResult
 
+    from repro.measure.adapt import ProbeGovernor
     from repro.measure.campaign import CampaignStats, CloudMembership
 
 #: Target shards per worker per region; >1 keeps the pool load-balanced
@@ -381,6 +382,7 @@ class ShardedExecutor:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         supervisor: Optional[StudySupervisor] = None,
+        governor: Optional["ProbeGovernor"] = None,
     ) -> None:
         self.world = world
         self.engine = engine
@@ -391,6 +393,8 @@ class ShardedExecutor:
         self.faults = faults
         self.retry = retry or RetryPolicy()
         self.supervisor = supervisor
+        #: adaptive merge-time admit/defer decisions (None = admit all).
+        self.governor = governor
 
     # ------------------------------------------------------------------
 
@@ -445,6 +449,10 @@ class ShardedExecutor:
                 shards=len(shards),
                 workers=self.workers,
             )
+        if self.governor is not None:
+            # Deferrals recorded during this campaign carry its label, so
+            # the recovery round heals the right round's stats.
+            self.governor.begin_campaign(checkpoint_label)
         campaign_span = trc.span(
             f"campaign:{checkpoint_label}", category="campaign"
         )
@@ -463,6 +471,7 @@ class ShardedExecutor:
                     progress,
                     trc,
                     self.supervisor,
+                    self.governor,
                 )
             else:
                 ctx = _pool_context()
@@ -501,6 +510,7 @@ class ShardedExecutor:
                         progress,
                         trc,
                         self.supervisor,
+                        self.governor,
                     )
                 finally:
                     pool.terminate()
@@ -519,6 +529,8 @@ class ShardedExecutor:
                 campaign_span.set("probes", stats.probes)
                 campaign_span.set("lost", stats.lost_probes)
                 campaign_span.set("quarantined", stats.quarantined_shards)
+            if stats.deferred_probes:
+                campaign_span.set("deferred", stats.deferred_probes)
             campaign_span.close()
             if checkpoint is not None:
                 # Compact the append-mode journal into an atomically
@@ -649,6 +661,10 @@ class ShardedExecutor:
                         _describe_error(failure) + " (retry budget exhausted)",
                         progress,
                     )
+                # Both quarantine exits above happen *before* any sleep:
+                # a retry definitely remains past this point, and only
+                # then is a backoff pause justified -- quarantine paths
+                # must never sleep.
                 backoff = self.retry.backoff_seconds(attempt)
                 if backoff > 0:
                     time.sleep(backoff)
@@ -724,6 +740,7 @@ class ShardedExecutor:
         progress: Optional[CampaignProgress],
         tracer: TracerLike,
         supervisor: Optional[StudySupervisor] = None,
+        governor: Optional["ProbeGovernor"] = None,
     ) -> None:
         """Consume shard results in submission order -- the serial order.
 
@@ -733,6 +750,11 @@ class ShardedExecutor:
         separately attributed.  Shard boundaries are the executor's safe
         interrupt points: the supervisor is polled before each shard, so
         a cancelled study stops with every journal record intact.
+
+        When a governor is attached its admit/defer decisions happen
+        *here*, on the merge stream: merge order is the serial order at
+        any worker count, so adaptation never makes the run depend on
+        worker scheduling.
         """
         for shard in shards:
             if supervisor is not None:
@@ -743,15 +765,28 @@ class ShardedExecutor:
             if result is None:  # quarantined: degrade, don't die
                 stats.lost_probes += len(shard.targets)
                 stats.quarantined_shards += 1
+                if governor is not None:
+                    governor.note_quarantine(shard.region, shard.targets)
                 span.set("probes", 0)
                 span.set("lost", len(shard.targets))
                 span.set("attempts", outcome.attempts)
                 span.close()
                 continue
             tracer.adopt_packed(outcome.worker_spans, span)
+            deferred_here = 0
             for trace, left_cloud in result.items:
+                if governor is not None and not governor.admit(trace):
+                    # Open breaker: the trace content is suspect (rate
+                    # limited), so re-pace the target into the recovery
+                    # queue instead of folding a poisoned observation.
+                    stats.lost_probes += 1
+                    stats.deferred_probes += 1
+                    deferred_here += 1
+                    continue
                 stats.record(trace, left_cloud)
                 events.on_probe(trace)
+            if deferred_here:
+                span.set("deferred", deferred_here)
             span.set("probes", len(result.items))
             span.set("worker_seconds", result.seconds)
             if outcome.attempts > 1:

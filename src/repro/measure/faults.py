@@ -166,7 +166,7 @@ class FaultPlan:
         )
 
     def hop_suppressed(
-        self, cloud: str, region: str, dst: int, ttl: int
+        self, cloud: str, region: str, dst: int, ttl: int, salt: int = 0
     ) -> bool:
         """Whether the fault plan silences this hop's response.
 
@@ -174,14 +174,22 @@ class FaultPlan:
         traceroute engine calls it *after* its own noise draws, so the
         main probe RNG stream is untouched and fault-free portions of a
         trace stay identical to the clean run.
+
+        ``salt`` re-keys only the fault draws (never the base noise):
+        the adaptive recovery round re-probes a deferred target at
+        ``salt = recovery round index`` to draw a fresh loss/rate-limit
+        schedule for it.  ``salt=0`` is byte-identical to the unsalted
+        draw, so non-adaptive runs and checkpoint journals are
+        unaffected.
         """
+        extra: Tuple[int, ...] = (salt,) if salt else ()
         loss = self.region_loss.get(region, self.region_loss.get("*", 0.0))
-        if loss > 0.0 and self._u("loss", cloud, region, dst, ttl) < loss:
+        if loss > 0.0 and self._u("loss", cloud, region, dst, ttl, *extra) < loss:
             return True
         if self.rate_limit_rate > 0.0:
-            if self._u("rlimit", cloud, region, dst) < self.rate_limit_rate:
+            if self._u("rlimit", cloud, region, dst, *extra) < self.rate_limit_rate:
                 start = 2 + int(
-                    self._u("rlimit-start", cloud, region, dst)
+                    self._u("rlimit-start", cloud, region, dst, *extra)
                     * _WINDOW_SPREAD
                 )
                 if start <= ttl < start + self.rate_limit_window:
@@ -299,7 +307,15 @@ class FaultPlan:
                         loss["*"] = float(entry)
                 kwargs["region_loss"] = loss
             elif key in ("rate-limit", "rate_limit"):
-                kwargs["rate_limit_rate"] = float(value)
+                # `0.2w5` carries the window inline (the ``describe()``
+                # form); parsing it as a bare float used to blow up, and
+                # dropping the suffix would silently run window=3.
+                if "w" in value:
+                    rate, _, window = value.partition("w")
+                    kwargs["rate_limit_rate"] = float(rate)
+                    kwargs["rate_limit_window"] = int(window)
+                else:
+                    kwargs["rate_limit_rate"] = float(value)
             elif key in ("window", "rate-limit-window", "rate_limit_window"):
                 kwargs["rate_limit_window"] = int(value)
             else:

@@ -123,13 +123,30 @@ class TracerouteEngine:
         """The per-probe noise stream: a pure function of the probe key."""
         return random.Random(repr(("probe", self.seed, cloud, region, dst)))
 
-    def trace(self, cloud: str, region: str, dst: IPv4) -> Traceroute:
-        """Probe ``dst`` from the VM in ``region`` of ``cloud``."""
+    def trace(
+        self, cloud: str, region: str, dst: IPv4, salt: int = 0
+    ) -> Traceroute:
+        """Probe ``dst`` from the VM in ``region`` of ``cloud``.
+
+        ``salt`` re-keys only the observation-fault draws (see
+        ``FaultPlan.hop_suppressed``); the base noise stream is always
+        the probe's own, so ``salt=0`` reproduces the historical trace
+        byte-for-byte and a salted re-probe differs *only* where the
+        fault plan fired.  The adaptive recovery round is the one
+        caller that passes a non-zero salt.
+        """
         plan = self.world.resolve_path(cloud, region, dst)
-        return self._realize(plan, cloud, region, self.probe_rng(cloud, region, dst))
+        return self._realize(
+            plan, cloud, region, self.probe_rng(cloud, region, dst), salt
+        )
 
     def _realize(
-        self, plan: PathPlan, cloud: str, region: str, rng: random.Random
+        self,
+        plan: PathPlan,
+        cloud: str,
+        region: str,
+        rng: random.Random,
+        salt: int = 0,
     ) -> Traceroute:
         cfg = self.config
         catalog = self.world.catalog
@@ -160,7 +177,7 @@ class TracerouteEngine:
             if (
                 responds
                 and faults is not None
-                and faults.hop_suppressed(cloud, region, plan.dest_ip, ttl)
+                and faults.hop_suppressed(cloud, region, plan.dest_ip, ttl, salt)
             ):
                 responds = False
             if not responds:
@@ -187,7 +204,7 @@ class TracerouteEngine:
         if (
             dest_responds
             and faults is not None
-            and faults.hop_suppressed(cloud, region, plan.dest_ip, ttl + 1)
+            and faults.hop_suppressed(cloud, region, plan.dest_ip, ttl + 1, salt)
         ):
             dest_responds = False
         if dest_responds:

@@ -1,0 +1,30 @@
+"""Fixture: clock reads feeding adaptive control decisions (REP008).
+
+Deliberately uses only the monotonic clocks REP004 exempts
+(``perf_counter`` / ``monotonic``): REP008 exists precisely because
+those are still banned on breaker/governor decision paths.
+"""
+
+import time
+from time import monotonic
+
+
+def should_open(failures: int) -> bool:
+    # direct clock read inside a branch test
+    if time.perf_counter() > 100.0:
+        return True
+    return failures > 3
+
+
+def window_expired(started: float) -> bool:
+    # tainted name compared: `elapsed` carries the clock read
+    elapsed = time.monotonic() - started
+    return elapsed > 5.0
+
+
+def drain_trials(budget: int) -> int:
+    # imported-name clock read in a loop test, plus a tainted deadline
+    deadline = monotonic() + 1.0
+    while monotonic() < deadline:
+        budget -= 1
+    return budget

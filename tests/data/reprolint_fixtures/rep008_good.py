@@ -1,0 +1,20 @@
+"""Fixture: count-based decisions; clocks feed only timing metrics."""
+
+import time
+
+
+def should_open(streak: int, threshold: int) -> bool:
+    # the adaptive contract: decisions fold from probe counts
+    return streak >= threshold
+
+
+def trials_remaining(budget: int, spent: int) -> int:
+    return max(0, budget - spent)
+
+
+def timed(fn):
+    # clocks are fine when they only feed observability output
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    return result, {"seconds": seconds}

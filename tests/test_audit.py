@@ -174,7 +174,7 @@ def test_live_schema_extraction_covers_all_surfaces():
     store = schemas["stage_store"]
     assert store["format_version"] == 1
     assert store["stage_order"][0] == "validate"
-    assert len(store["registered_dataclasses"]) == 20
+    assert len(store["registered_dataclasses"]) == 24
     assert schemas["shard_wire"]["span_row_index"] == 4
     assert schemas["bench_report"]["schema"] == "repro-bench-v1"
     span_fields = [f["name"] for f in schemas["span_record"]["fields"]]

@@ -243,6 +243,17 @@ def test_annotate_microbench_halves_probe_work(annotate_report):
     assert counters["annotation_cache_misses"] == counters["addresses"]
 
 
+def test_adaptive_scenario_is_inert_on_a_clean_run(study_report):
+    """Arming adaptation on a healthy fabric must change nothing."""
+    report = run_scenario("adaptive", TINY)
+    assert report.params["adaptive"] is True
+    assert report.digest == study_report.digest
+    assert report.counters["governor_deferred"] == 0
+    assert report.counters["recovered_probes"] == 0
+    assert report.counters["recovery_still_lost"] == 0
+    assert report.counters["breaker_transitions"] == 0
+
+
 # ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------

@@ -191,6 +191,44 @@ class TestFaultPlan:
         text = FaultPlan(crash_rate=0.25, region_loss={"use1": 0.1}).describe()
         assert "crash=0.25" in text and "use1:0.1" in text
 
+    def test_parse_inline_rate_limit_window(self):
+        # `0.2w5` is the describe() form: rate and window in one token.
+        # It used to raise (float("0.2w5")); parsing it while dropping
+        # the suffix would silently run window=3 -- both are wrong.
+        plan = FaultPlan.parse("rate-limit=0.2w5")
+        assert plan.rate_limit_rate == 0.2
+        assert plan.rate_limit_window == 5
+
+    def test_spec_plan_spec_round_trip_every_field(self):
+        # One plan with every field off its default.
+        plan = FaultPlan(
+            seed=9,
+            crash_rate=0.25,
+            crash_attempts=2,
+            slow_rate=0.1,
+            slow_seconds=0.5,
+            poison_shards=(3, 7),
+            region_loss={"use1": 0.05, "*": 0.01},
+            rate_limit_rate=0.2,
+            rate_limit_window=5,
+        )
+        spec = plan.to_spec()
+        reparsed = FaultPlan.parse(spec)
+        assert reparsed == plan
+        # spec -> plan -> spec is a fixed point (canonical form).
+        assert reparsed.to_spec() == spec
+        # The human-oriented describe() form must parse too: window
+        # rides inline on the rate-limit token there.
+        rate_part = next(
+            part
+            for part in plan.describe().strip("FaultPlan()").split(", ")
+            if part.startswith("rate-limit=")
+        )
+        assert rate_part == "rate-limit=0.2w5"
+        via_describe = FaultPlan.parse(rate_part)
+        assert via_describe.rate_limit_rate == plan.rate_limit_rate
+        assert via_describe.rate_limit_window == plan.rate_limit_window
+
 
 # ----------------------------------------------------------------------
 # Observation faults on the engine: deterministic, seed-keyed content.
@@ -299,6 +337,32 @@ class TestExecutorResilience:
         assert [q.index for q in progress.quarantined] == [poisoned.index]
         assert len(progress.failures) == 2  # first attempt + one retry
         assert progress.completeness < 1.0
+
+    def test_no_backoff_sleep_on_quarantine_paths(
+        self, tiny_world, probe_space, monkeypatch
+    ):
+        """Backoff may only run when a retry definitely remains.
+
+        Both quarantine exits (retries exhausted, study retry budget
+        spent) return before the backoff sleep; with a poisoned shard,
+        max_retries=0, and a huge backoff base, any sleep at all is the
+        regression.
+        """
+        import repro.measure.executor as executor_mod
+
+        sleeps: list = []
+        monkeypatch.setattr(
+            executor_mod.time, "sleep", lambda s: sleeps.append(s)
+        )
+        targets, regions = probe_space
+        shards = plan_shards(regions, targets, 6)
+        _, stats = _run(
+            tiny_world, targets, regions, shard_size=6,
+            faults=FaultPlan(poison_shards=(shards[0].index,)),
+            retry=RetryPolicy(max_retries=0, backoff_base_s=60.0),
+        )
+        assert stats.quarantined_shards == 1
+        assert sleeps == []
 
     def test_retry_policy_validation_and_backoff(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,159 @@
+"""Hypothesis properties for the circuit-breaker health ledger.
+
+These pin the three invariants DESIGN.md 6.6 leans on:
+
+* **Order invariance** -- the ledger folds per-region streams, so any
+  interleaving of regions' merge streams that preserves each region's
+  own order yields an identical ledger.  This is the property that
+  makes merge-time folding worker-count invariant: shards of different
+  regions may merge in any relative order without changing a single
+  deferral decision.
+* **Monotone open threshold** -- lowering ``breaker_threshold`` never
+  makes a breaker open *later*; a stricter breaker dominates a looser
+  one on the same outcome stream.
+* **Half-open accounting** -- trial bookkeeping never goes negative and
+  never exceeds its granted budget, no matter how the recovery round
+  interleaves trials and resolutions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.measure.health import (  # noqa: E402
+    SILENCED_RUN_FINGERPRINT,
+    BreakerState,
+    CircuitBreaker,
+    HealthLedger,
+    ProbeOutcome,
+)
+
+REGIONS = ["use1", "usw2", "euw1", "aps1", "sae1"]
+
+
+def _outcome(region: str, healthy: bool) -> ProbeOutcome:
+    return ProbeOutcome(
+        region=region,
+        completed=healthy,
+        silenced_run=0 if healthy else SILENCED_RUN_FINGERPRINT,
+    )
+
+
+def _fold(ledger: HealthLedger, outcome: ProbeOutcome) -> None:
+    """Fold with the governor's semantics: an open breaker defers."""
+    breaker = ledger.breaker("amazon", outcome.region)
+    if breaker.state == BreakerState.OPEN:
+        return
+    breaker.record(outcome)
+
+
+streams_st = st.dictionaries(
+    st.sampled_from(REGIONS),
+    st.lists(st.booleans(), min_size=1, max_size=12),
+    min_size=1,
+    max_size=4,
+)
+
+
+# --- order invariance --------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(streams=streams_st, threshold=st.integers(1, 4), data=st.data())
+def test_ledger_is_invariant_under_region_preserving_interleavings(
+    streams, threshold, data
+):
+    """Same per-region streams, any cross-region interleaving, same ledger."""
+    # Reference fold: regions one after another, in sorted order.
+    reference = HealthLedger(threshold=threshold)
+    for region in sorted(streams):
+        for healthy in streams[region]:
+            _fold(reference, _outcome(region, healthy))
+
+    # Any permutation of the region-tag multiset is a region-preserving
+    # interleaving, as long as each region's own stream is consumed in
+    # its original order.
+    tags = [region for region in sorted(streams) for _ in streams[region]]
+    interleaving = data.draw(st.permutations(tags))
+    queues = {region: deque(seq) for region, seq in streams.items()}
+    shuffled = HealthLedger(threshold=threshold)
+    for region in interleaving:
+        _fold(shuffled, _outcome(region, queues[region].popleft()))
+
+    assert shuffled.snapshot() == reference.snapshot()
+
+
+# --- monotone open threshold -------------------------------------------
+
+
+@settings(max_examples=50)
+@given(
+    stream=st.lists(st.booleans(), min_size=1, max_size=30),
+    thresholds=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+)
+def test_lower_threshold_never_opens_later(stream, thresholds):
+    strict, loose = min(thresholds), max(thresholds)
+    breakers = {
+        t: CircuitBreaker("amazon", "use1", threshold=t)
+        for t in {strict, loose}
+    }
+    for healthy in stream:
+        for breaker in breakers.values():
+            if breaker.state != BreakerState.OPEN:
+                breaker.record(_outcome("use1", healthy))
+
+    strict_open_at = breakers[strict].first_open_at
+    loose_open_at = breakers[loose].first_open_at
+    if loose_open_at >= 0:
+        # Whenever the loose breaker opened, the strict one did too,
+        # and no later (folded-outcome counts coincide up to the first
+        # open, since nothing is deferred before it).
+        assert strict_open_at >= 0
+        assert strict_open_at <= loose_open_at
+    if strict_open_at < 0:
+        assert loose_open_at < 0
+
+
+# --- half-open accounting ----------------------------------------------
+
+op_st = st.sampled_from(["half_open", "trial_ok", "trial_fail", "resolve"])
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(op_st, min_size=1, max_size=40),
+    budget=st.integers(1, 8),
+    threshold=st.integers(1, 4),
+)
+def test_half_open_accounting_never_goes_negative(ops, budget, threshold):
+    breaker = CircuitBreaker("amazon", "use1", threshold=threshold)
+    for _ in range(threshold):
+        breaker.record(_outcome("use1", healthy=False))
+    assert breaker.state == BreakerState.OPEN
+
+    for op in ops:
+        try:
+            if op == "half_open":
+                breaker.half_open(budget)
+            elif op == "trial_ok":
+                breaker.record_trial(healthy=True)
+            elif op == "trial_fail":
+                breaker.record_trial(healthy=False)
+            else:
+                breaker.resolve_trials()
+        except ValueError:
+            # Illegal sequencing (trial while closed, exhausted budget,
+            # half-open of a non-open breaker) raises and changes
+            # nothing; the invariants must survive regardless.
+            pass
+        assert breaker.trials_remaining >= 0
+        spent = breaker.trial_successes + breaker.trial_failures
+        assert 0 <= spent <= max(breaker.trial_budget, 0)
+        assert breaker.failures >= 0
+        assert breaker.outcomes >= spent

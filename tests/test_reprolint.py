@@ -49,6 +49,7 @@ def test_rule_catalogue_is_complete():
         "REP005",
         "REP006",
         "REP007",
+        "REP008",
     )
     for spec in RULES.values():
         assert spec.title and spec.rationale and spec.fix_hint
@@ -65,6 +66,7 @@ CASES = [
     ("REP005", "rep005_bad.py", 4, "rep005_good.py"),
     ("REP006", "rep006_bad.py", 3, "rep006_good.py"),
     ("REP007", "rep007_bad.py", 3, "rep007_good.py"),
+    ("REP008", "rep008_bad.py", 4, "rep008_good.py"),
 ]
 
 

@@ -29,7 +29,12 @@ from repro.measure.supervise import StudySupervisor
 
 
 def _config(**overrides):
-    base = dict(seed=3, expansion_stride=8, crossval_folds=2)
+    # adaptive=True enables every stage in STAGE_ORDER (including
+    # "recovery") so the kill/resume matrix covers the whole graph; on
+    # a clean plan the control plane is digest-inert (tests/
+    # test_adaptive.py pins that), so the bit-identity contract is
+    # unchanged.
+    base = dict(seed=3, expansion_stride=8, crossval_folds=2, adaptive=True)
     base.update(overrides)
     return StudyConfig(**base)
 
@@ -237,6 +242,20 @@ def test_killed_after_any_stage_resumes_bit_identically(
         assert calls.get(pending) == 1, f"stage {pending!r} did not run"
 
 
+def test_recovery_stage_skipped_when_not_adaptive(
+    tiny_world, tmp_path, monkeypatch, clean_digest
+):
+    calls = _install_compute_spies(monkeypatch)
+    result = AmazonPeeringStudy(
+        tiny_world, config=_config(adaptive=False)
+    ).run()
+    assert "recovery" not in calls
+    assert calls["round1"] == 1
+    assert result.resilience is None
+    # ...and the adaptive-but-clean fixture digest is the same content.
+    assert result.digest() == clean_digest
+
+
 @pytest.mark.parametrize("workers", [1, 2, 4])
 def test_resume_digest_is_worker_count_invariant(
     tiny_world, tmp_path, clean_digest, workers
@@ -265,7 +284,9 @@ def test_resumed_stages_are_marked_in_the_trace(tiny_world, tmp_path, clean_dige
         for r in result.metrics.tracer.records
         if r.category == "stage" and r.counter("resumed")
     }
-    assert resumed_spans == {"validate", "round1", "round2", "heuristics", "alias"}
+    assert resumed_spans == {
+        "validate", "round1", "round2", "recovery", "heuristics", "alias",
+    }
 
 
 def test_torn_stage_checkpoint_recomputes_and_still_matches(
@@ -329,7 +350,8 @@ class TestSalvage:
             tiny_world, config=salvage_config
         ).salvage()
         assert recovered == [
-            "validate", "round1", "round2", "heuristics", "alias", "pinning",
+            "validate", "round1", "round2", "recovery",
+            "heuristics", "alias", "pinning",
         ]
         assert result.pinning is not None
         assert result.round1_stats is not None
